@@ -1,0 +1,28 @@
+# Convenience targets for the CROPHE reproduction.
+
+.PHONY: install test bench bench-full experiments experiments-quick examples lint
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL_BENCH=1 pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments.runner all
+
+experiments-quick:
+	python -m repro.experiments.runner all --quick
+
+examples:
+	python examples/quickstart.py
+	python examples/private_inference.py
+	python examples/encrypted_logreg.py
+	python examples/schedule_explorer.py
+	python examples/secure_cloud_pipeline.py

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each ``test_*`` module regenerates one of the paper's tables or figures
+and asserts the paper's qualitative *shape* (who wins, roughly by how
+much, where trends point).  ``pytest-benchmark`` wraps the expensive
+evaluation pipeline so run times are also tracked.
+
+The full Figure 9/10 sweeps take tens of minutes; the benchmark defaults
+evaluate a representative subset (the SHARP and ARK pairings with the
+bootstrapping + ResNet-20 workloads).  Set ``REPRO_FULL_BENCH=1`` to run
+everything.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(os.environ.get("REPRO_FULL_BENCH"))
+
+
+@pytest.fixture(scope="session")
+def full_sweep():
+    return FULL

@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* hybrid r_hyb sweep — the Min-KS <-> Hoisting trade-off curve;
+* scheduler group-size cap vs schedule quality and search time;
+* temporal streaming on/off;
+* PE-granularity allocation sanity (more PEs never hurt).
+"""
+
+import pytest
+
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_36
+from repro.sched.scheduler import Scheduler, SchedulerConfig
+from repro.sim.engine import SimulationEngine
+from repro.workloads import build_bootstrapping
+from repro.workloads.base import WorkloadOptions
+
+PARAMS = parameter_set("SHARP")
+HW = CROPHE_36.with_sram_mb(45.0)
+
+
+def _segment_time(options, hw=HW, config=None):
+    wl = build_bootstrapping(PARAMS, options)
+    seg = wl.segment("coeff_to_slot0")
+    sched = Scheduler(seg.graph, hw, config).schedule()
+    return SimulationEngine(hw).run(sched).total_seconds
+
+
+class TestHybridSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        out = {}
+        for r_hyb in (1, 2, 4, 8):
+            out[r_hyb] = _segment_time(
+                WorkloadOptions(rotation_strategy="hybrid", r_hyb=r_hyb)
+            )
+        out["plain"] = _segment_time(
+            WorkloadOptions(rotation_strategy="plain")
+        )
+        return out
+
+    def test_runs(self, benchmark, sweep):
+        benchmark.pedantic(
+            lambda: _segment_time(
+                WorkloadOptions(rotation_strategy="hybrid", r_hyb=4)
+            ),
+            iterations=1, rounds=1,
+        )
+
+    def test_some_hybrid_beats_plain(self, sweep):
+        best = min(v for k, v in sweep.items() if k != "plain")
+        assert best < sweep["plain"]
+
+    def test_endpoints_bracket_middle(self, sweep):
+        """The best r_hyb is never *worse* than both pure endpoints."""
+        best_mid = min(sweep[2], sweep[4])
+        assert best_mid <= max(sweep[1], sweep[8]) * 1.05
+
+
+class TestGroupSizeCap:
+    def test_larger_windows_do_not_hurt(self, benchmark):
+        def run(size):
+            return _segment_time(
+                WorkloadOptions(rotation_strategy="hybrid", r_hyb=4),
+                config=SchedulerConfig(max_group_size=size),
+            )
+
+        small = benchmark.pedantic(lambda: run(2), iterations=1, rounds=1)
+        large = run(7)
+        assert large <= small * 1.02
+
+
+class TestTemporalStreaming:
+    def test_streaming_reduces_time(self):
+        on = _segment_time(
+            WorkloadOptions(rotation_strategy="hybrid", r_hyb=4),
+            config=SchedulerConfig(temporal_streaming=True),
+        )
+        off = _segment_time(
+            WorkloadOptions(rotation_strategy="hybrid", r_hyb=4),
+            config=SchedulerConfig(temporal_streaming=False),
+        )
+        assert on <= off * 1.02
+
+
+class TestPeScaling:
+    def test_more_pes_not_slower(self):
+        few = _segment_time(
+            WorkloadOptions(rotation_strategy="hybrid", r_hyb=4),
+            hw=HW.scaled_pes(32),
+        )
+        many = _segment_time(
+            WorkloadOptions(rotation_strategy="hybrid", r_hyb=4),
+            hw=HW.scaled_pes(128),
+        )
+        assert many <= few * 1.05

@@ -1,0 +1,63 @@
+"""Benchmark: Figure 10 SRAM sweep — shape assertions.
+
+Paper expectations:
+
+* both designs slow down as the buffer shrinks, but CROPHE keeps (or
+  grows) its advantage over most of the sweep;
+* the headline claim: CROPHE-p-36 at the smallest SRAM still beats
+  SHARP+MAD at the full 180 MB on ResNet-20.
+"""
+
+import pytest
+
+from repro.experiments.fig10 import fig10
+
+
+def _cells(full):
+    workloads = (
+        ("bootstrapping", "helr", "resnet20", "resnet110")
+        if full else ("bootstrapping", "resnet20")
+    )
+    return fig10(baselines=("SHARP",), workloads=workloads)
+
+
+@pytest.fixture(scope="module")
+def cells(full_sweep):
+    return _cells(full_sweep)
+
+
+def test_fig10_runs(benchmark, full_sweep):
+    result = benchmark.pedantic(
+        lambda: _cells(full_sweep), iterations=1, rounds=1
+    )
+    assert result
+
+
+class TestShape:
+    def test_everyone_slows_with_less_sram(self, cells):
+        by_wl = {}
+        for c in cells:
+            by_wl.setdefault(c.workload, []).append(c)
+        for workload, group in by_wl.items():
+            group.sort(key=lambda c: -c.sram_mb)
+            for prev, cur in zip(group, group[1:]):
+                assert cur.baseline_ms >= prev.baseline_ms * 0.98
+                assert cur.crophe_ms >= prev.crophe_ms * 0.98
+
+    def test_crophe_always_ahead(self, cells):
+        for c in cells:
+            assert c.speedup > 1.0, (c.workload, c.sram_mb, c.speedup)
+
+    def test_advantage_survives_shrinking(self, cells):
+        """At the smallest buffer CROPHE keeps a healthy margin."""
+        smallest = min(c.sram_mb for c in cells)
+        for c in cells:
+            if c.sram_mb == smallest:
+                assert c.speedup > 1.2, (c.workload, c.speedup)
+
+    def test_small_sram_crophe_p_beats_full_sram_baseline(self, cells):
+        """Figure 10(c): CROPHE-p-36 @45MB faster than SHARP+MAD @180MB."""
+        rn = [c for c in cells if c.workload == "resnet20"]
+        full = max(rn, key=lambda c: c.sram_mb)
+        tiny = min(rn, key=lambda c: c.sram_mb)
+        assert tiny.crophe_p_ms < full.baseline_ms

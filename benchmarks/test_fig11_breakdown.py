@@ -1,0 +1,70 @@
+"""Benchmark: Figure 11 optimization breakdown — shape assertions.
+
+Paper expectations at reduced SRAM:
+
+* MAD on the CROPHE hardware does not beat the tuned baseline;
+* the basic cross-operator framework ("Base") already improves on MAD
+  substantially, with lower SRAM/DRAM traffic;
+* hybrid rotation contributes more than NTT decomposition;
+* the full CROPHE point is the best of the ladder;
+* DRAM traffic decreases monotonically down the MAD -> Base -> CROPHE
+  ladder.
+"""
+
+import pytest
+
+from repro.experiments.fig11 import LADDER, fig11
+
+
+def _points(full):
+    pairings = ("ARK", "SHARP") if full else ("SHARP",)
+    return fig11(pairings=pairings)
+
+
+@pytest.fixture(scope="module")
+def points(full_sweep):
+    return _points(full_sweep)
+
+
+def test_fig11_runs(benchmark, full_sweep):
+    result = benchmark.pedantic(
+        lambda: _points(full_sweep), iterations=1, rounds=1
+    )
+    assert len(result) % len(LADDER) == 0
+
+
+class TestShape:
+    def _by_variant(self, points, config):
+        return {p.variant: p for p in points if p.config == config}
+
+    def test_ladder_monotone_speedup(self, points):
+        for config in {p.config for p in points}:
+            v = self._by_variant(points, config)
+            assert v["MAD"].speedup <= v["Base"].speedup * 1.02
+            assert v["Base"].speedup <= v["CROPHE"].speedup * 1.02
+            assert v["+HybRot"].speedup <= v["CROPHE"].speedup * 1.02
+
+    def test_mad_on_crophe_hw_is_no_win(self, points):
+        for config in {p.config for p in points}:
+            v = self._by_variant(points, config)
+            assert v["MAD"].speedup <= 1.1
+
+    def test_hybrot_contributes_more_than_nttdec(self, points):
+        """Section VII-D: hybrid rotation's benefit exceeds NTTDec's."""
+        for config in {p.config for p in points}:
+            v = self._by_variant(points, config)
+            gain_hyb = v["+HybRot"].speedup / v["Base"].speedup
+            gain_ntt = v["+NTTDec"].speedup / v["Base"].speedup
+            assert gain_hyb >= gain_ntt
+
+    def test_combined_is_best(self, points):
+        for config in {p.config for p in points}:
+            v = self._by_variant(points, config)
+            best = max(p.speedup for p in v.values())
+            assert v["CROPHE"].speedup == pytest.approx(best, rel=0.02)
+
+    def test_dram_traffic_drops_along_ladder(self, points):
+        for config in {p.config for p in points}:
+            v = self._by_variant(points, config)
+            assert v["Base"].dram_gb < v["MAD"].dram_gb
+            assert v["CROPHE"].dram_gb <= v["Base"].dram_gb

@@ -1,0 +1,19 @@
+"""Benchmark: Table III parameter sets match the paper exactly."""
+
+from repro.experiments.table3 import security_check, table3
+
+
+def test_table3(benchmark):
+    data = benchmark(table3)
+    assert data["BTS"] == [17, 39, 19, 2, 20]
+    assert data["ARK"] == [16, 23, 15, 4, 6]
+    assert data["SHARP"] == [16, 35, 27, 3, 12]
+    assert data["CraterLake"] == [16, 59, 51, 1, 60]
+
+
+def test_security_plausible(benchmark):
+    estimates = benchmark(security_check)
+    # All Table III sets claim 128-bit security; the rule-of-thumb
+    # estimate should land in the right ballpark for every set.
+    for name, bits in estimates.items():
+        assert bits > 60, (name, bits)

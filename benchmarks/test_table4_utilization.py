@@ -1,0 +1,58 @@
+"""Benchmark: Table IV resource utilization — shape assertions.
+
+Paper expectations on ResNet-20:
+
+* CROPHE's flexible homogeneous array reaches materially higher PE
+  utilization than the specialized baselines (57-77% vs ~40% effective);
+* CROPHE-p pushes PE utilization higher still;
+* DRAM bandwidth utilization stays in the same regime as the baselines
+  (both the data volume and the execution time shrink together).
+"""
+
+import pytest
+
+from repro.experiments.table4 import table4
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table4()
+
+
+def test_table4_runs(benchmark):
+    result = benchmark.pedantic(table4, iterations=1, rounds=1)
+    assert len(result) == 6
+
+
+class TestShape:
+    def _find(self, rows, label):
+        return next(r for r in rows if r.design == label)
+
+    @pytest.mark.parametrize("pair,suffix", [("ARK", "64"), ("SHARP", "36")])
+    def test_crophe_pe_utilization_higher(self, rows, pair, suffix):
+        base = self._find(rows, f"{pair}+MAD")
+        crophe = self._find(rows, f"CROPHE-{suffix}")
+        assert crophe.pe > base.pe
+
+    @pytest.mark.parametrize("suffix", ["64", "36"])
+    def test_crophe_p_highest_pe_util(self, rows, suffix):
+        crophe = self._find(rows, f"CROPHE-{suffix}")
+        p = self._find(rows, f"CROPHE-p-{suffix}")
+        assert p.pe >= crophe.pe * 0.999
+
+    def test_baseline_noc_omitted(self, rows):
+        for r in rows:
+            if r.design.endswith("+MAD"):
+                assert r.noc is None
+            else:
+                assert r.noc is not None
+
+    def test_dram_utilization_same_regime(self, rows):
+        """Neither design should idle or saturate DRAM exclusively."""
+        for r in rows:
+            assert 0.01 < r.dram_bw <= 1.0, r.design
+
+    def test_utilizations_are_fractions(self, rows):
+        for r in rows:
+            for v in (r.pe, r.sram_bw, r.dram_bw):
+                assert 0.0 <= v <= 1.0

@@ -1,0 +1,70 @@
+"""Schedule explorer: inspect the dataflow CROPHE discovers.
+
+Builds one CoeffToSlot stage (the HRot-heavy core of bootstrapping) at
+paper-scale parameters and prints, for each configuration knob, what the
+scheduler found: group compositions, buffer footprints, traffic, and how
+the hybrid-rotation parameter trades evaluation keys against ModUps —
+the Figure 6/8 story, reproduced interactively.
+
+Run with::
+
+    python examples/schedule_explorer.py
+"""
+
+from repro.fhe.params import parameter_set
+from repro.fhe.rotation import hybrid_cost_summary
+from repro.hw.config import CROPHE_36
+from repro.ir.builders import GraphBuilder
+from repro.sched.scheduler import Scheduler
+from repro.sim.engine import SimulationEngine
+
+PARAMS = parameter_set("SHARP")
+HW = CROPHE_36.with_sram_mb(45.0)
+N1, N2 = 8, 4
+
+
+def build_transform(strategy: str, r_hyb: int = 4, ntt_split=None):
+    b = GraphBuilder(PARAMS, ntt_split=ntt_split)
+    ct = b.input_ciphertext("in", PARAMS.max_level)
+    b.bsgs_matvec(ct, N1, N2, strategy=strategy, r_hyb=r_hyb, tag="c2s")
+    return b.graph
+
+
+def explore(strategy: str, r_hyb: int = 4, ntt_split=None) -> None:
+    graph = build_transform(strategy, r_hyb, ntt_split)
+    scheduler = Scheduler(graph, HW, n_split=ntt_split)
+    schedule = scheduler.schedule()
+    result = SimulationEngine(HW).run(schedule)
+    split = "four-step" if ntt_split else "monolithic"
+    print(f"\n--- {strategy} (r_hyb={r_hyb}, NTT {split}) ---")
+    print(f"  operators      : {graph.num_operators}")
+    print(f"  spatial groups : {len(schedule.steps)}")
+    print(f"  simulated time : {result.total_ms:.3f} ms")
+    print(f"  DRAM traffic   : {result.traffic.dram_bytes / 2**20:.0f} MB")
+    print(f"  NoC traffic    : {result.traffic.noc_bytes / 2**20:.0f} MB")
+    biggest = max(schedule.steps, key=lambda s: len(s.plan.ops))
+    kinds = ", ".join(op.kind.value for op in biggest.plan.ops)
+    print(f"  largest group  : [{kinds}]")
+    buf = max(s.plan.metrics.buffer_bytes for s in schedule.steps)
+    print(f"  peak group buf : {buf / 2**20:.2f} MB "
+          f"(of {HW.sram_capacity_mb:.0f} MB SRAM)")
+
+
+def hybrid_tradeoff_table() -> None:
+    print("\n--- Hybrid rotation trade-off (Section V-C formulas) ---")
+    print(f"  {'r_hyb':>6s}{'ModUps':>8s}{'ModDowns':>10s}{'evks':>6s}")
+    for r_hyb in (1, 2, 4, 8):
+        s = hybrid_cost_summary(N1, r_hyb)
+        print(f"  {r_hyb:6d}{s['mod_ups']:8d}{s['mod_downs']:10d}"
+              f"{s['distinct_evks']:6d}")
+
+
+if __name__ == "__main__":
+    print(f"CoeffToSlot stage: BSGS {N1}x{N2}, params={PARAMS.name} "
+          f"(logN={PARAMS.log_n}, L={PARAMS.max_level})")
+    hybrid_tradeoff_table()
+    explore("plain")
+    explore("min-ks")
+    explore("hoisting")
+    explore("hybrid", r_hyb=4)
+    explore("hybrid", r_hyb=4, ntt_split=(256, 256))

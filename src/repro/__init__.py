@@ -1,0 +1,16 @@
+"""CROPHE reproduction: cross-operator dataflow optimization for FHE
+accelerators (HPCA 2026).
+
+Subpackages:
+
+* :mod:`repro.fhe` -- functional RNS-CKKS library (the executable spec).
+* :mod:`repro.ir` -- operator-graph IR and CKKS primitive builders.
+* :mod:`repro.hw` -- hardware configurations and models (Table I/II).
+* :mod:`repro.sched` -- the CROPHE scheduling framework (Section V).
+* :mod:`repro.sim` -- group-level performance simulator.
+* :mod:`repro.baselines` -- BTS/ARK/SHARP/CraterLake + MAD scheduling.
+* :mod:`repro.workloads` -- bootstrapping, HELR, ResNet-20/110 graphs.
+* :mod:`repro.experiments` -- regenerates every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Baseline accelerators (BTS, ARK, SHARP, CraterLake) and MAD scheduling."""
+
+from repro.baselines.accelerators import (
+    BASELINE_CONFIGS,
+    BTS,
+    ARK,
+    SHARP,
+    CRATERLAKE,
+    baseline_config,
+    paired_crophe,
+)
+from repro.baselines.mad import MadScheduler, mad_schedule
+
+__all__ = [
+    "BASELINE_CONFIGS",
+    "BTS",
+    "ARK",
+    "SHARP",
+    "CRATERLAKE",
+    "baseline_config",
+    "paired_crophe",
+    "MadScheduler",
+    "mad_schedule",
+]

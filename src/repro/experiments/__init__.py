@@ -1,0 +1,19 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each module reproduces one exhibit:
+
+* ``table1`` — hardware configurations.
+* ``table2`` — CROPHE-36 area/power breakdown.
+* ``table3`` — CKKS parameter sets.
+* ``table4`` — resource utilization on ResNet-20.
+* ``fig9``  — overall performance comparison.
+* ``fig10`` — performance at smaller SRAM capacities.
+* ``fig11`` — optimization breakdown + SRAM/DRAM traffic.
+
+``repro.experiments.common`` holds the shared evaluation pipeline
+(workload -> schedule -> simulate) and ``runner`` a CLI-style entry point.
+"""
+
+from repro.experiments.common import DesignPoint, EvalResult, evaluate_workload
+
+__all__ = ["DesignPoint", "EvalResult", "evaluate_workload"]

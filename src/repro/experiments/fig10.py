@@ -1,0 +1,99 @@
+"""Figure 10: performance at smaller SRAM capacities.
+
+Shrinks the global buffer of the 64-bit (vs ARK) and 36-bit (vs SHARP)
+configurations and re-evaluates; the paper's expectation is that
+CROPHE's speedups generally grow as the SRAM shrinks, with CROPHE-p-36
+at 45 MB beating SHARP+MAD at 180 MB on the ResNets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.accelerators import baseline_config, paired_crophe
+from repro.experiments.common import DesignPoint, evaluate_workload
+from repro.fhe.params import parameter_set
+
+#: SRAM sweep points per pairing (MB).
+SRAM_POINTS = {
+    "ARK": (512.0, 256.0, 128.0),
+    "SHARP": (180.0, 90.0, 45.0),
+}
+
+
+@dataclass
+class Fig10Cell:
+    baseline: str
+    workload: str
+    sram_mb: float
+    baseline_ms: float
+    crophe_ms: float
+    crophe_p_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.crophe_ms
+
+    @property
+    def speedup_p(self) -> float:
+        return self.baseline_ms / self.crophe_p_ms
+
+
+def fig10(
+    baselines: Sequence[str] = ("ARK", "SHARP"),
+    workloads: Sequence[str] = ("bootstrapping", "helr", "resnet20", "resnet110"),
+    sram_points: Dict[str, Tuple[float, ...]] = None,
+) -> List[Fig10Cell]:
+    """Regenerate the Figure 10 SRAM sweep series."""
+    sram_points = sram_points or SRAM_POINTS
+    cells: List[Fig10Cell] = []
+    for baseline_name in baselines:
+        params = parameter_set(
+            "CraterLake" if baseline_name == "CL+" else baseline_name
+        )
+        base_hw = baseline_config(baseline_name)
+        crophe_hw = paired_crophe(baseline_name)
+        for sram in sram_points[baseline_name]:
+            b = DesignPoint(
+                f"{baseline_name}+MAD", base_hw.with_sram_mb(sram),
+                dataflow="mad",
+            )
+            c = DesignPoint("CROPHE", crophe_hw.with_sram_mb(sram))
+            p = DesignPoint(
+                "CROPHE-p", crophe_hw.with_sram_mb(sram), clusters=4
+            )
+            for workload in workloads:
+                rb = evaluate_workload(b, workload, params)
+                rc = evaluate_workload(c, workload, params)
+                rp = evaluate_workload(p, workload, params)
+                cells.append(
+                    Fig10Cell(
+                        baseline=baseline_name,
+                        workload=workload,
+                        sram_mb=sram,
+                        baseline_ms=rb.ms,
+                        crophe_ms=rc.ms,
+                        crophe_p_ms=rp.ms,
+                    )
+                )
+    return cells
+
+
+def format_fig10(cells: List[Fig10Cell]) -> str:
+    """Render the sweep as an aligned text table."""
+    lines = [
+        f"{'baseline':10s}{'workload':15s}{'SRAM MB':>9s}"
+        f"{'base ms':>11s}{'CROPHE ms':>11s}{'speedup':>9s}{'p-speedup':>11s}"
+    ]
+    for c in cells:
+        lines.append(
+            f"{c.baseline:10s}{c.workload:15s}{c.sram_mb:9.0f}"
+            f"{c.baseline_ms:11.2f}{c.crophe_ms:11.2f}"
+            f"{c.speedup:8.2f}x{c.speedup_p:10.2f}x"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_fig10())

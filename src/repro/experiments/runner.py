@@ -1,0 +1,120 @@
+"""Command-line experiment runner.
+
+Regenerates any (or all) of the paper's tables and figures::
+
+    python -m repro.experiments.runner table2
+    python -m repro.experiments.runner fig9 --quick
+    python -m repro.experiments.runner all
+
+``--quick`` restricts the expensive figures to one baseline pairing and
+two workloads, which finishes in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def run_table1() -> str:
+    """Regenerate Table I."""
+    from repro.experiments.table1 import format_table1
+
+    return format_table1()
+
+
+def run_table2() -> str:
+    """Regenerate Table II."""
+    from repro.experiments.table2 import format_table2
+
+    return format_table2()
+
+
+def run_table3() -> str:
+    """Regenerate Table III."""
+    from repro.experiments.table3 import format_table3
+
+    return format_table3()
+
+
+def run_table4(quick: bool = False) -> str:
+    """Regenerate Table IV (always full: it is cheap)."""
+    from repro.experiments.table4 import format_table4, table4
+
+    return format_table4(table4())
+
+
+def run_fig9(quick: bool = False) -> str:
+    """Regenerate Figure 9 (``quick`` restricts the sweep)."""
+    from repro.experiments.fig9 import fig9, format_fig9
+
+    if quick:
+        cells = fig9(baselines=("SHARP",), workloads=("bootstrapping",))
+    else:
+        cells = fig9()
+    return format_fig9(cells)
+
+
+def run_fig10(quick: bool = False) -> str:
+    """Regenerate Figure 10 (``quick`` restricts the sweep)."""
+    from repro.experiments.fig10 import fig10, format_fig10
+
+    if quick:
+        cells = fig10(baselines=("SHARP",), workloads=("bootstrapping",))
+    else:
+        cells = fig10()
+    return format_fig10(cells)
+
+
+def run_fig11(quick: bool = False) -> str:
+    """Regenerate Figure 11 (``quick`` restricts the pairings)."""
+    from repro.experiments.fig11 import fig11, format_fig11
+
+    pairings = ("SHARP",) if quick else ("ARK", "SHARP")
+    return format_fig11(fig11(pairings=pairings))
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="restrict the expensive figures to a small subset",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        start = time.time()
+        print(f"==== {name} ====")
+        try:
+            if name.startswith("fig") or name == "table4":
+                print(fn(quick=args.quick))
+            else:
+                print(fn())
+        except Exception as exc:  # pragma: no cover - CLI convenience
+            print(f"{name} failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"({time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

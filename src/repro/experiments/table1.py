@@ -1,0 +1,56 @@
+"""Table I: hardware configurations of CROPHE variants and baselines."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.accelerators import ARK, BTS, CRATERLAKE, SHARP
+from repro.hw.config import CROPHE_36, CROPHE_64, HardwareConfig
+
+#: Column order of the paper's Table I.
+TABLE1_COLUMNS = [BTS, ARK, CROPHE_64, CRATERLAKE, SHARP, CROPHE_36]
+
+ROW_LABELS = [
+    "Word length (bits)",
+    "Logic frequency (GHz)",
+    "Number of lanes",
+    "Number of PEs (or clusters)",
+    "DRAM bandwidth (TB/s)",
+    "SRAM capacity (MB)",
+    "Area (mm2)",
+    "Power (W)",
+]
+
+
+def _row(config: HardwareConfig) -> List[object]:
+    return [
+        config.word_bits,
+        config.frequency_ghz,
+        config.lanes_per_pe,
+        config.num_pes,
+        config.dram_bandwidth_tbs,
+        config.sram_capacity_mb,
+        config.area_mm2,
+        config.power_w,
+    ]
+
+
+def table1() -> Dict[str, List[object]]:
+    """Regenerate Table I as {column name: values in ROW_LABELS order}."""
+    return {c.name: _row(c) for c in TABLE1_COLUMNS}
+
+
+def format_table1() -> str:
+    """Render Table I as an aligned text table."""
+    data = table1()
+    names = list(data)
+    width = 14
+    lines = [" " * 30 + "".join(n.rjust(width) for n in names)]
+    for i, label in enumerate(ROW_LABELS):
+        cells = "".join(str(data[n][i]).rjust(width) for n in names)
+        lines.append(label.ljust(30) + cells)
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table1())

@@ -1,0 +1,32 @@
+"""Functional CKKS FHE substrate.
+
+This subpackage implements the RNS-CKKS scheme from scratch: parameter
+generation, residue number system arithmetic, negacyclic number theoretic
+transforms (including the four-step decomposition used by CROPHE's NTT
+optimization), encoding/decoding via the canonical embedding, key
+generation, the digit-decomposed key-switching pipeline
+(Decomp -> ModUp -> KSKInP -> ModDown), homomorphic operators
+(HAdd/HMult/HRot/PMult/CMult/rescale), the three rotation strategies
+compared in the paper (Min-KS, Hoisting, Hybrid), BSGS plaintext
+matrix-vector multiplication, and a structural bootstrapping pipeline.
+
+It serves two purposes: (1) a correct, testable reference of every FHE
+operator the CROPHE scheduler reasons about, and (2) the ground truth for
+operator-count formulas used by the analytical cost model.
+"""
+
+from repro.fhe.params import CKKSParams, PARAMETER_SETS, parameter_set
+from repro.fhe.context import CKKSContext
+from repro.fhe.poly import RnsPoly, Domain
+from repro.fhe.ciphertext import Ciphertext, Plaintext
+
+__all__ = [
+    "CKKSParams",
+    "PARAMETER_SETS",
+    "parameter_set",
+    "CKKSContext",
+    "RnsPoly",
+    "Domain",
+    "Ciphertext",
+    "Plaintext",
+]

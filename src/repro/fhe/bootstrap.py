@@ -1,0 +1,254 @@
+"""CKKS bootstrapping: ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff.
+
+A ciphertext at level 0 decrypts to ``t(X) = m(X) + q0 * I(X)`` when its
+limbs are reinterpreted over a larger basis (ModRaise).  Bootstrapping
+homomorphically evaluates ``t mod q0`` to recover ``m`` at a higher
+level:
+
+* **CoeffToSlot** moves the *coefficients* ``t_i`` into the vector slots
+  using two plaintext matrix multiplications (the canonical embedding is
+  only R-linear, so the map needs both the ciphertext and its
+  conjugate).  Both matmuls run through BSGS (Algorithm 1), which is why
+  bootstrapping is dominated by HRot and why the paper's hybrid rotation
+  matters.
+* **EvalMod** approximates ``x -> x mod q0`` with the scaled complex
+  exponential: evaluate ``exp(i * theta / 2^k)`` by a short Taylor
+  series, square ``k`` times, and take the imaginary part, using
+  ``sin(2*pi*t/q0)/(2*pi) ~= (t mod q0)/q0`` for ``t`` near multiples of
+  ``q0``.  The coefficient packing is complex, so the real and imaginary
+  branches are separated first and recombined after.
+* **SlotToCoeff** is the inverse linear transform, moving the reduced
+  values back into coefficients.
+
+The implementation is fully functional on small concrete parameter sets
+(it actually refreshes ciphertexts); the accelerator-scale *operator
+graph* of bootstrapping used by the scheduler lives in
+``repro.workloads.bootstrapping`` and mirrors this structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fhe import ops
+from repro.fhe.bsgs import pt_mat_vec_mult
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import CKKSContext
+from repro.fhe.encoding import _slot_exponents
+from repro.fhe.poly import RnsPoly
+from repro.fhe.rns import centered
+
+
+@dataclass
+class BootstrapConfig:
+    """Knobs of the EvalMod approximation.
+
+    Attributes:
+        taylor_degree: Taylor truncation degree for ``exp(i*theta)``.
+        double_angles: number of squarings ``k``; the argument is divided
+            by ``2**k`` first so the Taylor series converges fast.
+        target_level: level of the refreshed ciphertext after all the
+            internal rescales (None = whatever the budget leaves).
+    """
+
+    taylor_degree: int = 7
+    double_angles: int = 7
+    target_level: Optional[int] = None
+
+    @property
+    def evalmod_levels(self) -> int:
+        """Levels EvalMod consumes (boost + Horner + squarings + Im)."""
+        return 1 + self.taylor_degree + self.double_angles + 1
+
+    @property
+    def total_levels(self) -> int:
+        """Levels the whole bootstrap consumes.
+
+        One each for CoeffToSlot, the real/imag split, the recombine, and
+        SlotToCoeff, on top of EvalMod.
+        """
+        return self.evalmod_levels + 4
+
+
+def mod_raise(ctx: CKKSContext, ct: Ciphertext, target_level: int) -> Ciphertext:
+    """Reinterpret a level-0 ciphertext over a larger basis.
+
+    The centered residues mod ``q0`` are re-embedded into all moduli of
+    the target basis; the result decrypts to ``m + q0 * I`` with a small
+    integer polynomial ``I`` (``|I|`` bounded by half the secret key's
+    Hamming weight plus one).
+    """
+    if ct.level != 0:
+        raise ValueError("mod_raise expects a level-0 ciphertext")
+    moduli = ctx.params.moduli[: target_level + 1]
+    polys = []
+    for p in ct.polys:
+        coeffs = centered(p.to_coeff().data[0], ct.moduli[0])
+        polys.append(
+            RnsPoly.from_coefficients(list(coeffs), ct.n, moduli).to_ntt()
+        )
+    return Ciphertext(polys, ct.scale, target_level)
+
+
+@lru_cache(maxsize=16)
+def coeff_to_slot_matrices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Matrices (B, C) with ``w = B z + C conj(z)`` packing coefficients.
+
+    ``w_j = t_j + i * t_{j + N/2}`` where ``z`` is the canonical embedding
+    of the polynomial ``t`` (the decode of the ciphertext at scale 1).
+    """
+    m = n // 2
+    exps = _slot_exponents(n)
+    j_idx = np.arange(m).reshape(-1, 1)
+    k_exp = exps.reshape(1, -1).astype(np.int64)
+    zeta = np.exp(1j * np.pi / n)
+    lo = zeta ** (np.mod(-(k_exp * j_idx), 2 * n))
+    hi = zeta ** (np.mod(-(k_exp * (j_idx + m)), 2 * n))
+    b = (lo + 1j * hi) / n
+    lo_p = zeta ** (np.mod(k_exp * j_idx, 2 * n))
+    hi_p = zeta ** (np.mod(k_exp * (j_idx + m), 2 * n))
+    c = (lo_p + 1j * hi_p) / n
+    return b, c
+
+
+@lru_cache(maxsize=16)
+def slot_to_coeff_matrices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Matrices (D, F) with ``z = D w + F conj(w)`` (inverse packing)."""
+    m = n // 2
+    exps = _slot_exponents(n)
+    zeta = np.exp(1j * np.pi / n)
+    j_idx = np.arange(m).reshape(1, -1)
+    r_k = exps.reshape(-1, 1).astype(np.int64)
+    low = zeta ** (np.mod(r_k * j_idx, 2 * n))
+    high = zeta ** (np.mod(r_k * (j_idx + m), 2 * n))
+    d = 0.5 * (low - 1j * high)
+    f = 0.5 * (low + 1j * high)
+    return d, f
+
+
+def coeff_to_slot(ctx: CKKSContext, ct: Ciphertext) -> Ciphertext:
+    """Homomorphically move polynomial coefficients into the slots.
+
+    Output slots hold ``(t_j + i * t_{j+N/2}) / scale`` — i.e. the packed
+    coefficients divided by the ciphertext's nominal scale.
+    """
+    b, c = coeff_to_slot_matrices(ctx.params.n)
+    ct_conj = ops.conjugate(ctx, ct)
+    part_b = pt_mat_vec_mult(ctx, ct, b)
+    part_c = pt_mat_vec_mult(ctx, ct_conj, c)
+    return ops.add(part_b, part_c)
+
+
+def slot_to_coeff(ctx: CKKSContext, ct: Ciphertext) -> Ciphertext:
+    """Homomorphically move slot values back into the coefficients."""
+    d, f = slot_to_coeff_matrices(ctx.params.n)
+    ct_conj = ops.conjugate(ctx, ct)
+    part_d = pt_mat_vec_mult(ctx, ct, d)
+    part_f = pt_mat_vec_mult(ctx, ct_conj, f)
+    return ops.add(part_d, part_f)
+
+
+def _reinterpret_scale(ct: Ciphertext, factor: float) -> Ciphertext:
+    """Multiply the nominal scale (divides slot values); zero cost."""
+    out = ct.copy()
+    out.scale = ct.scale * factor
+    return out
+
+
+def _real_imag_split(
+    ctx: CKKSContext, ct: Ciphertext
+) -> Tuple[Ciphertext, Ciphertext]:
+    """Split complex slots into real-part and imag-part ciphertexts."""
+    conj = ops.conjugate(ctx, ct)
+    re2 = ops.add(ct, conj)  # 2 * Re
+    im2 = ops.sub(ct, conj)  # 2i * Im
+    # Halve both through the same CMult+rescale pipeline so they end at
+    # identical levels and scales.
+    re = ops.rescale(ctx, ops.mul_scalar(ctx, re2, 0.5))
+    im = ops.rescale(ctx, ops.mul_scalar(ctx, im2, -0.5j))
+    return re, im
+
+
+def eval_mod_real(
+    ctx: CKKSContext,
+    ct: Ciphertext,
+    q0_over_scale: float,
+    config: BootstrapConfig,
+) -> Ciphertext:
+    """EvalMod on a ciphertext with *real* slot values.
+
+    The slots hold ``u = t / Delta0`` where ``t = m + q0 * I``; the output
+    slots hold ``~ m / Delta0`` (with its own nominal scale).
+    ``q0_over_scale = q0 / Delta0`` is the effective modulus in slot-value
+    units.
+    """
+    k = config.double_angles
+    # theta = 2*pi*u / (q0_over_scale * 2^k); encode the constant with a
+    # boosted plaintext scale so the working scale lands near one prime.
+    eps = 2.0 * math.pi / (q0_over_scale * (2.0 ** k))
+    q_last = float(ct.moduli[-1])
+    q_prev = float(ct.moduli[-2])
+    boost_scale = q_last * q_prev / ct.scale
+    theta = ops.rescale(
+        ctx, ops.mul_scalar(ctx, ct, eps, pt_scale=boost_scale)
+    )
+    # Horner on the Taylor series of exp(i * theta).
+    degree = config.taylor_degree
+    coeffs = [1j ** d / math.factorial(d) for d in range(degree + 1)]
+    acc = ops.rescale(ctx, ops.mul_scalar(ctx, theta, coeffs[degree]))
+    for d in range(degree - 1, 0, -1):
+        acc = ops.add_scalar(ctx, acc, coeffs[d])
+        theta_down = ops.level_down(theta, acc.level)
+        acc = ops.rescale(ctx, ops.multiply(ctx, acc, theta_down))
+    acc = ops.add_scalar(ctx, acc, coeffs[0])
+    # Square k times: exp(i*theta) -> exp(i * 2^k * theta).
+    for _ in range(k):
+        acc = ops.rescale(ctx, ops.square(ctx, acc))
+    # sin = Im(exp) = (p - conj(p)) / 2i.
+    conj = ops.conjugate(ctx, acc)
+    diff = ops.sub(acc, conj)
+    sine = ops.rescale(ctx, ops.mul_scalar(ctx, diff, -0.5j))
+    # m/Delta0 ~= sin * q0_over_scale / (2*pi): free scale adjustment.
+    return _reinterpret_scale(sine, 2.0 * math.pi / q0_over_scale)
+
+
+def bootstrap(
+    ctx: CKKSContext,
+    ct: Ciphertext,
+    config: Optional[BootstrapConfig] = None,
+) -> Ciphertext:
+    """Refresh a level-0 ciphertext to a usable higher level.
+
+    Returns a ciphertext at a higher level whose decode matches the
+    input's message.  The output's nominal scale differs from the input's
+    (it reflects the internal EvalMod arithmetic); callers who need a
+    specific scale can multiply by an encoded ``1.0`` and rescale.
+    """
+    config = config or BootstrapConfig()
+    if ct.level != 0:
+        raise ValueError("bootstrap expects an exhausted (level-0) input")
+    q0 = ctx.params.moduli[0]
+    top = ctx.params.max_level
+    if top < config.total_levels:
+        raise ValueError(
+            f"need >= {config.total_levels} levels to bootstrap, have {top}"
+        )
+    raised = mod_raise(ctx, ct, top)
+    packed = coeff_to_slot(ctx, raised)
+    re, im = _real_imag_split(ctx, packed)
+    m_re = eval_mod_real(ctx, re, q0 / re.scale, config)
+    m_im = eval_mod_real(ctx, im, q0 / im.scale, config)
+    # Recombine: w = re + i * im.
+    m_im_i = ops.rescale(ctx, ops.mul_scalar(ctx, m_im, 1j))
+    m_re_d = ops.rescale(ctx, ops.mul_scalar(ctx, m_re, 1.0))
+    m_re_d.scale = m_im_i.scale
+    combined = ops.add(m_re_d, m_im_i)
+    refreshed = slot_to_coeff(ctx, combined)
+    if config.target_level is not None:
+        refreshed = ops.level_down(refreshed, config.target_level)
+    return refreshed

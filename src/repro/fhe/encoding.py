@@ -1,0 +1,88 @@
+"""CKKS encoding and decoding via the canonical embedding.
+
+A length-``N/2`` complex vector ``z`` is embedded into a real polynomial
+``p`` such that ``p(zeta**(5**j)) ~= z_j`` where ``zeta = exp(i*pi/N)`` is
+a primitive ``2N``-th complex root of unity.  The evaluation points are
+indexed by powers of 5 so that the Galois automorphism ``X -> X**(5**r)``
+realizes a cyclic rotation of the slots — the algebraic fact behind HRot.
+
+The transforms are computed with explicit (vectorized) Vandermonde sums,
+which is O(N * slots) — perfectly adequate for the concrete test
+parameters (``N <= 2**12``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+
+@lru_cache(maxsize=32)
+def _slot_exponents(n: int) -> np.ndarray:
+    """Exponents ``r_j = 5**j mod 2N`` selecting one point per conjugate pair."""
+    m = n // 2
+    exps = np.empty(m, dtype=np.int64)
+    acc = 1
+    for j in range(m):
+        exps[j] = acc
+        acc = acc * 5 % (2 * n)
+    return exps
+
+
+@lru_cache(maxsize=32)
+def _embedding_matrix(n: int) -> np.ndarray:
+    """``(slots, N)`` complex matrix ``E[j, i] = zeta**(i * r_j)``."""
+    exps = _slot_exponents(n)
+    i_idx = np.arange(n).reshape(1, -1)
+    angle = np.pi / n * np.mod(exps.reshape(-1, 1) * i_idx, 2 * n)
+    return np.exp(1j * angle)
+
+
+def encode(values: Sequence[complex], n: int, scale: float) -> np.ndarray:
+    """Encode a complex vector into integer polynomial coefficients.
+
+    Args:
+        values: up to ``N/2`` complex (or real) values; shorter vectors are
+            zero-padded.
+        n: ring degree.
+        scale: the CKKS scale Delta; precision of the fixed-point encoding.
+
+    Returns:
+        Length-``N`` array of Python-int-safe signed coefficients.
+    """
+    m = n // 2
+    z = np.zeros(m, dtype=np.complex128)
+    vals = np.asarray(values, dtype=np.complex128)
+    if len(vals) > m:
+        raise ValueError(f"at most {m} slots available, got {len(vals)}")
+    z[: len(vals)] = vals
+    emb = _embedding_matrix(n)
+    # c_i = (2/N) * Re( sum_j z_j * conj(E[j, i]) ), then scaled and rounded.
+    coeffs = (2.0 / n) * np.real(np.conj(emb).T @ z)
+    return np.round(coeffs * scale).astype(np.int64)
+
+
+def decode(coeffs: Sequence[int], n: int, scale: float, num_slots: int = 0) -> np.ndarray:
+    """Decode integer polynomial coefficients back to a complex vector."""
+    m = n // 2
+    c = np.asarray(coeffs, dtype=np.float64)
+    if c.shape != (n,):
+        raise ValueError(f"expected {n} coefficients, got {c.shape}")
+    emb = _embedding_matrix(n)
+    z = (emb @ c) / scale
+    if num_slots:
+        return z[:num_slots]
+    return z
+
+
+def rotation_galois_element(n: int, r: int) -> int:
+    """Galois element ``5**r mod 2N`` implementing a rotation by ``r`` slots."""
+    m = n // 2
+    return pow(5, r % m, 2 * n)
+
+
+def conjugation_galois_element(n: int) -> int:
+    """Galois element ``2N - 1`` implementing complex conjugation."""
+    return 2 * n - 1

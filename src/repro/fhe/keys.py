@@ -1,0 +1,53 @@
+"""Key material containers for RNS-CKKS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.fhe.poly import RnsPoly
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret key polynomial ``s`` (stored per usable basis)."""
+
+    poly: RnsPoly  # over the full basis Q_L + P, NTT domain
+
+
+@dataclass
+class PublicKey:
+    """Encryption key: ``(b, a) = (-a*s + e, a)`` over the Q basis."""
+
+    b: RnsPoly
+    a: RnsPoly
+
+
+@dataclass
+class EvaluationKey:
+    """A key-switching key from some ``s'`` to ``s``.
+
+    One digit entry per decomposition digit; each entry is a pair of
+    polynomials over the extended basis ``P * Q_level``.  Shape per the
+    paper: ``2 x beta x (alpha + level + 1) x N``.
+
+    Attributes:
+        digits: list of ``(b_j, a_j)`` pairs, one per digit.
+        level: the ciphertext level this key was generated for.
+        kind: descriptive tag ("relin", "rot:5", "conj").
+    """
+
+    digits: List[Tuple[RnsPoly, RnsPoly]]
+    level: int
+    kind: str = "relin"
+
+    @property
+    def num_digits(self) -> int:
+        return len(self.digits)
+
+    def element_count(self) -> int:
+        """Total residue elements (matches CKKSParams.evk_elements)."""
+        total = 0
+        for b, a in self.digits:
+            total += b.data.size + a.data.size
+        return total

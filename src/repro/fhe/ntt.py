@@ -1,0 +1,284 @@
+"""Negacyclic number theoretic transforms.
+
+Polynomial multiplication in ``Z_q[X]/(X^N + 1)`` uses the *negacyclic*
+NTT: with ``psi`` a primitive ``2N``-th root of unity mod ``q`` and
+``omega = psi**2``, the transform evaluates the polynomial at the odd
+powers of ``psi``::
+
+    a_hat[j] = a(psi**(2*j + 1))        j = 0 .. N-1
+
+Two implementations are provided and tested against each other:
+
+* :meth:`NttContext.forward` / :meth:`NttContext.inverse` — the classic
+  iterative Cooley-Tukey transform (``log N`` butterfly stages), which is
+  what a monolithic NTT unit computes.
+* :meth:`NttContext.forward_four_step` — the four-step decomposition
+  ``N = N1 x N2`` into column NTTs, an element-wise twiddle multiplication,
+  and row NTTs.  This is the decomposition CROPHE's scheduler exploits
+  (Section V-B) to expose independent ``N1``/``N2`` loops for fine-grained
+  cross-operator pipelining.  Both produce bit-identical outputs.
+
+Keeping outputs in natural evaluation order (index ``j`` maps to the
+point ``psi**(2j+1)``) makes Galois automorphisms a clean permutation in
+the NTT domain (see :func:`galois_eval_permutation`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.fhe.params import primitive_root_of_unity
+from repro.fhe.rns import INT, mod_inverse
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses ``log2(n)``-bit indices."""
+    if n & (n - 1):
+        raise ValueError("n must be a power of two")
+    bits = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+class NttContext:
+    """Precomputed NTT tables for one (n, q) pair."""
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1):
+            raise ValueError("n must be a power of two")
+        if (q - 1) % (2 * n):
+            raise ValueError(f"q={q} is not NTT-friendly for n={n}")
+        self.n = n
+        self.q = int(q)
+        self.psi = primitive_root_of_unity(2 * n, self.q)
+        self.omega = self.psi * self.psi % self.q
+        self.n_inv = mod_inverse(n, self.q)
+        # Twist factors psi^i and psi^{-i}, i in [0, n).
+        self.psi_powers = self._power_table(self.psi, n)
+        self.psi_inv_powers = self._power_table(mod_inverse(self.psi, self.q), n)
+        # omega^i and omega^{-i} for the cyclic core.
+        self.omega_powers = self._power_table(self.omega, n)
+        self.omega_inv_powers = self._power_table(mod_inverse(self.omega, self.q), n)
+        self._bitrev = bit_reverse_permutation(n)
+
+    def _power_table(self, base: int, count: int) -> np.ndarray:
+        powers = np.empty(count, dtype=INT)
+        acc = 1
+        for i in range(count):
+            powers[i] = acc
+            acc = acc * base % self.q
+        return powers
+
+    # ------------------------------------------------------------------
+    # Monolithic transform
+    # ------------------------------------------------------------------
+
+    def _cyclic_core(self, values: np.ndarray, omega_powers: np.ndarray) -> np.ndarray:
+        """Iterative radix-2 cyclic NTT, natural-in / natural-out order."""
+        n = self.n
+        q = self.q
+        a = values[self._bitrev].astype(INT)
+        m = 1
+        while m < n:
+            stride = n // (2 * m)
+            w = omega_powers[::stride][:m]
+            blocks = a.reshape(-1, 2 * m)
+            lo = blocks[:, :m]
+            hi = np.mod(blocks[:, m:] * w, q)
+            blocks[:, m:] = np.mod(lo - hi, q)
+            blocks[:, :m] = np.mod(lo + hi, q)
+            a = blocks.reshape(-1)
+            m *= 2
+        return a
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT: coefficient -> evaluation representation."""
+        coeffs = np.asarray(coeffs, dtype=INT)
+        if coeffs.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {coeffs.shape}")
+        twisted = np.mod(coeffs * self.psi_powers, self.q)
+        return self._cyclic_core(twisted, self.omega_powers)
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT: evaluation -> coefficient representation."""
+        evals = np.asarray(evals, dtype=INT)
+        if evals.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {evals.shape}")
+        core = self._cyclic_core(evals, self.omega_inv_powers)
+        untwisted = np.mod(core * self.psi_inv_powers, self.q)
+        return np.mod(untwisted * np.int64(self.n_inv), self.q)
+
+    # ------------------------------------------------------------------
+    # Four-step decomposition (Section V-B)
+    # ------------------------------------------------------------------
+
+    def forward_four_step(self, coeffs: np.ndarray, n1: int, n2: int) -> np.ndarray:
+        """Four-step negacyclic NTT with ``N = n1 * n2``.
+
+        Step structure (after the negacyclic twist):
+
+        1. ``n1`` independent length-``n2`` column NTTs,
+        2. element-wise twiddle multiplication by ``omega**(i1*j2)``,
+        3. ``n2`` independent length-``n1`` row NTTs,
+        4. transpose read-out.
+
+        The column/row NTT instances are independent along ``n1``/``n2``
+        respectively, which is exactly the loop structure the CROPHE
+        scheduler pipelines across adjacent operators.
+        """
+        if n1 * n2 != self.n:
+            raise ValueError(f"n1*n2 = {n1 * n2} != n = {self.n}")
+        if (n1 & (n1 - 1)) or (n2 & (n2 - 1)):
+            raise ValueError("n1 and n2 must be powers of two")
+        q = self.q
+        coeffs = np.asarray(coeffs, dtype=INT)
+        twisted = np.mod(coeffs * self.psi_powers, q)
+        # b[i1, i2] = twisted[i1 + n1*i2]
+        b = twisted.reshape(n2, n1).T.copy()
+        # Step 1: length-n2 NTT along axis 1 (one instance per i1 row).
+        sub2 = _sub_context(self.q, n2, self.omega, self.n // n2)
+        for i1 in range(n1):
+            b[i1] = sub2.cyclic(b[i1])
+        # Step 2: twiddles omega^(i1*j2).
+        i1_idx = np.arange(n1).reshape(-1, 1)
+        j2_idx = np.arange(n2).reshape(1, -1)
+        twiddle_exp = np.mod(i1_idx * j2_idx, self.n)
+        b = np.mod(b * self.omega_powers[twiddle_exp], q)
+        # Step 3: length-n1 NTT along axis 0 (one instance per j2 column).
+        sub1 = _sub_context(self.q, n1, self.omega, self.n // n1)
+        for j2 in range(n2):
+            b[:, j2] = sub1.cyclic(b[:, j2])
+        # Step 4: out[j2 + n2*j1] = b[j1, j2].
+        return b.reshape(n1 * n2)
+
+    def inverse_four_step(self, evals: np.ndarray, n1: int, n2: int) -> np.ndarray:
+        """Four-step inverse negacyclic NTT (mirror of the forward)."""
+        if n1 * n2 != self.n:
+            raise ValueError(f"n1*n2 = {n1 * n2} != n = {self.n}")
+        q = self.q
+        evals = np.asarray(evals, dtype=INT)
+        # Invert step 4: b[j1, j2] = evals[j2 + n2*j1].
+        b = evals.reshape(n1, n2).astype(INT)
+        # Invert step 3.
+        omega_inv = mod_inverse(self.omega, q)
+        sub1 = _sub_context(self.q, n1, omega_inv, self.n // n1)
+        for j2 in range(n2):
+            b[:, j2] = sub1.cyclic(b[:, j2])
+        b = np.mod(b * np.int64(mod_inverse(n1, q)), q)
+        # Invert step 2.
+        i1_idx = np.arange(n1).reshape(-1, 1)
+        j2_idx = np.arange(n2).reshape(1, -1)
+        twiddle_exp = np.mod(i1_idx * j2_idx, self.n)
+        b = np.mod(b * self.omega_inv_powers[twiddle_exp], q)
+        # Invert step 1.
+        sub2 = _sub_context(self.q, n2, omega_inv, self.n // n2)
+        for i1 in range(n1):
+            b[i1] = sub2.cyclic(b[i1])
+        b = np.mod(b * np.int64(mod_inverse(n2, q)), q)
+        # Undo the reshape and negacyclic twist.
+        flat = b.T.reshape(self.n)
+        return np.mod(flat * self.psi_inv_powers, q)
+
+
+class _SubNtt:
+    """Cyclic NTT of a sub-length with a derived root (four-step helper)."""
+
+    def __init__(self, q: int, n: int, root: int):
+        self.q = q
+        self.n = n
+        powers = np.empty(n, dtype=INT)
+        acc = 1
+        for i in range(n):
+            powers[i] = acc
+            acc = acc * root % q
+        self.root_powers = powers
+        self._bitrev = bit_reverse_permutation(n)
+
+    def cyclic(self, values: np.ndarray) -> np.ndarray:
+        n, q = self.n, self.q
+        a = values[self._bitrev].astype(INT)
+        m = 1
+        while m < n:
+            stride = n // (2 * m)
+            w = self.root_powers[::stride][:m]
+            blocks = a.reshape(-1, 2 * m)
+            lo = blocks[:, :m]
+            hi = np.mod(blocks[:, m:] * w, q)
+            blocks[:, m:] = np.mod(lo - hi, q)
+            blocks[:, :m] = np.mod(lo + hi, q)
+            a = blocks.reshape(-1)
+            m *= 2
+        return a
+
+
+@lru_cache(maxsize=256)
+def _sub_context(q: int, n: int, omega: int, stride: int) -> _SubNtt:
+    root = pow(omega, stride, q)
+    return _SubNtt(q, n, root)
+
+
+_CONTEXT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+
+
+def get_ntt_context(n: int, q: int) -> NttContext:
+    """Cached NTT context lookup (tables are expensive to rebuild)."""
+    key = (n, int(q))
+    ctx = _CONTEXT_CACHE.get(key)
+    if ctx is None:
+        ctx = NttContext(n, q)
+        _CONTEXT_CACHE[key] = ctx
+    return ctx
+
+
+def negacyclic_convolve_reference(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """O(N^2) schoolbook negacyclic convolution (test oracle)."""
+    n = len(a)
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            term = int(a[i]) * int(b[j])
+            if k >= n:
+                out[k - n] -= term
+            else:
+                out[k] += term
+    return np.array([int(v) % q for v in out], dtype=INT)
+
+
+def galois_eval_permutation(n: int, t: int) -> np.ndarray:
+    """Permutation applying ``a(X) -> a(X^t)`` in the NTT domain.
+
+    With natural evaluation order (index ``j`` holds ``a(psi^(2j+1))``),
+    the automorphism maps evaluation points: the output at index ``j``
+    must hold ``a(psi^((2j+1)*t))``, i.e. the input value at index
+    ``j' = ((2j+1)*t mod 2n - 1) / 2``.  ``t`` must be odd so that the
+    map is a bijection on odd residues mod ``2n``.
+    """
+    if t % 2 == 0:
+        raise ValueError("Galois element must be odd")
+    j = np.arange(n, dtype=np.int64)
+    src = ((2 * j + 1) * t % (2 * n) - 1) // 2
+    return src
+
+
+def galois_coeff(coeffs: np.ndarray, t: int, q: int) -> np.ndarray:
+    """Apply ``a(X) -> a(X^t)`` in the coefficient domain.
+
+    Coefficient ``i`` of the input lands at position ``i*t mod 2n``; a
+    position ``>= n`` wraps with a sign flip because ``X^n = -1``.
+    """
+    n = len(coeffs)
+    out = np.zeros(n, dtype=INT)
+    idx = np.arange(n, dtype=np.int64)
+    dest = idx * t % (2 * n)
+    wrap = dest >= n
+    dest = np.where(wrap, dest - n, dest)
+    vals = np.where(wrap, np.mod(-coeffs, q), coeffs)
+    out[dest] = vals
+    return out

@@ -1,0 +1,196 @@
+"""Homomorphic polynomial evaluation.
+
+Polynomial evaluation is the computational core of EvalMod (the sine
+approximation of bootstrapping) and of the polynomial activations in
+encrypted inference (the ReLU approximations of the ResNet workload).
+Three evaluators are provided:
+
+* :func:`horner` — depth ``d`` multiplications for degree ``d``;
+* :func:`paterson_stockmeyer` — ``~2*sqrt(d)`` non-scalar
+  multiplications via baby/giant powers (the standard choice for the
+  degree-27+ polynomials in the paper's workloads);
+* :func:`chebyshev_eval` — evaluates a Chebyshev-basis expansion with
+  the same baby-step/giant-step structure (numerically preferable for
+  minimax approximations on an interval).
+
+All evaluators operate on ciphertexts and track levels/scales through
+``repro.fhe.ops``; tests validate them against plain numpy evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fhe import ops
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import CKKSContext
+
+
+def _mul(ctx: CKKSContext, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+    """Level-aligned ciphertext multiply + rescale."""
+    if a.level > b.level:
+        a = ops.level_down(a, b.level)
+    elif b.level > a.level:
+        b = ops.level_down(b, a.level)
+    return ops.rescale(ctx, ops.multiply(ctx, a, b))
+
+
+def _add(ctx: CKKSContext, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+    if a.level > b.level:
+        a = ops.level_down(a, b.level)
+    elif b.level > a.level:
+        b = ops.level_down(b, a.level)
+    # Align nominal scales (they drift by < 0.1% across rescales).
+    b = b.copy()
+    b.scale = a.scale
+    return ops.add(a, b)
+
+
+def horner(
+    ctx: CKKSContext, ct: Ciphertext, coeffs: Sequence[complex]
+) -> Ciphertext:
+    """Evaluate ``sum coeffs[i] * x^i`` by Horner's rule.
+
+    Consumes one level per degree; best for small degrees.
+    """
+    if len(coeffs) == 0:
+        raise ValueError("need at least one coefficient")
+    degree = len(coeffs) - 1
+    if degree == 0:
+        out = ops.mul_scalar(ctx, ct, 0.0)
+        out = ops.rescale(ctx, out)
+        return ops.add_scalar(ctx, out, coeffs[0])
+    acc = ops.rescale(ctx, ops.mul_scalar(ctx, ct, coeffs[degree]))
+    for d in range(degree - 1, 0, -1):
+        if coeffs[d]:
+            acc = ops.add_scalar(ctx, acc, coeffs[d])
+        acc = _mul(ctx, acc, ct)
+    return ops.add_scalar(ctx, acc, coeffs[0])
+
+
+def _power_basis(
+    ctx: CKKSContext, ct: Ciphertext, max_power: int
+) -> List[Optional[Ciphertext]]:
+    """Powers ``x^1 .. x^max_power`` by repeated squaring/multiplying."""
+    powers: List[Optional[Ciphertext]] = [None] * (max_power + 1)
+    powers[1] = ct
+    for p in range(2, max_power + 1):
+        half = p // 2
+        other = p - half
+        assert powers[half] is not None and powers[other] is not None
+        powers[p] = _mul(ctx, powers[half], powers[other])
+    return powers
+
+
+def paterson_stockmeyer(
+    ctx: CKKSContext, ct: Ciphertext, coeffs: Sequence[complex]
+) -> Ciphertext:
+    """Evaluate a polynomial with ~2*sqrt(d) ciphertext multiplications.
+
+    Split degree ``d`` as blocks of size ``k ~ sqrt(d)``: precompute baby
+    powers ``x^1..x^k`` and giant powers ``x^k, x^2k, ...``; each block
+    is a scalar combination of baby powers, then blocks combine with
+    giant-step multiplications.
+    """
+    degree = len(coeffs) - 1
+    if degree <= 2:
+        return horner(ctx, ct, coeffs)
+    k = max(2, int(math.isqrt(degree)))
+    num_blocks = -(-(degree + 1) // k)
+    baby = _power_basis(ctx, ct, k)
+
+    def eval_block(block_coeffs: Sequence[complex]) -> Optional[Ciphertext]:
+        """Scalar-combine baby powers for one block (degree < k)."""
+        acc: Optional[Ciphertext] = None
+        for i, c in enumerate(block_coeffs):
+            if not c:
+                continue
+            if i == 0:
+                # Constant term handled by add_scalar at the end.
+                continue
+            term = ops.rescale(ctx, ops.mul_scalar(ctx, baby[i], c))
+            acc = term if acc is None else _add(ctx, acc, term)
+        if acc is not None and block_coeffs[0]:
+            acc = ops.add_scalar(ctx, acc, block_coeffs[0])
+        elif acc is None and block_coeffs[0]:
+            zero = ops.rescale(ctx, ops.mul_scalar(ctx, ct, 0.0))
+            acc = ops.add_scalar(ctx, zero, block_coeffs[0])
+        return acc
+
+    giant = baby[k]
+    assert giant is not None
+    result: Optional[Ciphertext] = None
+    # Evaluate blocks from the highest down: result = result*x^k + block.
+    for b in range(num_blocks - 1, -1, -1):
+        block = list(coeffs[b * k: (b + 1) * k])
+        block += [0.0] * (k - len(block))
+        block_ct = eval_block(block)
+        if result is not None:
+            result = _mul(ctx, result, giant)
+            if block_ct is not None:
+                result = _add(ctx, result, block_ct)
+        else:
+            result = block_ct
+    if result is None:
+        raise ValueError("zero polynomial")
+    return result
+
+
+def chebyshev_coefficients(
+    fn, degree: int, num_points: Optional[int] = None
+) -> np.ndarray:
+    """Chebyshev-basis coefficients of ``fn`` on [-1, 1] (DCT method)."""
+    m = num_points or (degree + 1)
+    k = np.arange(m)
+    nodes = np.cos(np.pi * (k + 0.5) / m)
+    values = np.array([fn(x) for x in nodes])
+    coeffs = np.zeros(degree + 1)
+    for j in range(degree + 1):
+        coeffs[j] = (2.0 / m) * np.sum(
+            values * np.cos(np.pi * j * (k + 0.5) / m)
+        )
+    coeffs[0] /= 2.0
+    return coeffs
+
+
+def chebyshev_eval(
+    ctx: CKKSContext, ct: Ciphertext, cheb_coeffs: Sequence[float]
+) -> Ciphertext:
+    """Evaluate a Chebyshev expansion ``sum c_j T_j(x)`` homomorphically.
+
+    Converts to the monomial basis (stable for the modest degrees used
+    here) and dispatches to Paterson-Stockmeyer.  Inputs must live in
+    [-1, 1] for the expansion to be meaningful.
+    """
+    degree = len(cheb_coeffs) - 1
+    # Build monomial coefficients via the T_j recurrence.
+    t_prev = np.zeros(degree + 1)
+    t_prev[0] = 1.0                      # T_0 = 1
+    mono = cheb_coeffs[0] * t_prev
+    if degree >= 1:
+        t_cur = np.zeros(degree + 1)
+        t_cur[1] = 1.0                   # T_1 = x
+        mono = mono + cheb_coeffs[1] * t_cur
+        for j in range(2, degree + 1):
+            t_next = np.zeros(degree + 1)
+            t_next[1:] = 2.0 * t_cur[:-1]
+            t_next -= t_prev
+            mono = mono + cheb_coeffs[j] * t_next
+            t_prev, t_cur = t_cur, t_next
+    return paterson_stockmeyer(ctx, ct, list(mono))
+
+
+def multiplication_depth(degree: int, method: str = "ps") -> int:
+    """Levels consumed by an evaluation (cost-model helper)."""
+    if degree <= 0:
+        return 0
+    if method == "horner":
+        return degree
+    if method == "ps":
+        k = max(2, int(math.isqrt(degree)))
+        num_blocks = -(-(degree + 1) // k)
+        return int(math.ceil(math.log2(k))) + num_blocks
+    raise ValueError(f"unknown method {method!r}")

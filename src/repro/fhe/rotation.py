@@ -1,0 +1,195 @@
+"""Rotation strategies: Min-KS, Hoisting, and CROPHE's Hybrid (Figure 8).
+
+BSGS-based PtMatVecMult needs the baby-step rotations
+``HRot_i(ct) for i = 0 .. n1-1``.  Three ways to produce them:
+
+* **Min-KS** (ARK):  a sequential chain of unit rotations, every step
+  reusing the *same* evaluation key.  1 evk total, but ``n1 - 1`` full
+  key-switches (ModUp + ModDown each) with a serial dependency.
+* **Hoisting** (MAD):  Decomp + ModUp once on the input, then per target
+  amount apply the automorphism to the *extended* digits, inner-product
+  with that amount's own evk, and ModDown.  1 ModUp total, but ``n1 - 1``
+  distinct evks.
+* **Hybrid** (CROPHE):  coarse steps of ``r_hyb`` via a Min-KS chain,
+  then from each coarse result a hoisting group for the ``r_hyb - 1``
+  fine steps.  The fine-step evks (amounts ``1 .. r_hyb - 1``) are shared
+  across *all* coarse groups — the new cross-operator sharing opportunity
+  the paper exploits.
+
+Every strategy returns both the rotated ciphertexts and an
+:class:`RotationCounts` tally; tests assert the tallies match the paper's
+closed-form trade-off (Section V-C) and that all three decrypt
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.fhe import keyswitch
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import CKKSContext
+from repro.fhe.encoding import rotation_galois_element
+
+
+@dataclass
+class RotationCounts:
+    """Operation tally for one baby-step rotation batch."""
+
+    mod_ups: int = 0
+    mod_downs: int = 0
+    inner_products: int = 0
+    automorphisms: int = 0
+    evk_amounts: Set[int] = field(default_factory=set)
+
+    @property
+    def distinct_evks(self) -> int:
+        return len(self.evk_amounts)
+
+
+def _rotate_with_key(
+    ctx: CKKSContext, ct: Ciphertext, r: int, counts: RotationCounts
+) -> Ciphertext:
+    """One full HRot (automorphism + complete key-switch), with tallies."""
+    t = rotation_galois_element(ctx.params.n, r)
+    b_rot = ct.polys[0].automorphism(t)
+    a_rot = ct.polys[1].automorphism(t)
+    counts.automorphisms += 1
+    evk = ctx.rotation_key(r, ct.level)
+    counts.evk_amounts.add(r % ctx.params.slots)
+    ks_b, ks_a = keyswitch.key_switch(ctx, a_rot, evk)
+    counts.mod_ups += 1
+    counts.mod_downs += 1
+    counts.inner_products += 1
+    return Ciphertext([b_rot + ks_b, ks_a], ct.scale, ct.level)
+
+
+def min_ks_rotations(
+    ctx: CKKSContext, ct: Ciphertext, n1: int
+) -> tuple[List[Ciphertext], RotationCounts]:
+    """ARK's Min-KS: a unit-step chain, one shared evk (Figure 8a)."""
+    counts = RotationCounts()
+    out = [ct.copy()]
+    current = ct
+    for _ in range(1, n1):
+        current = _rotate_with_key(ctx, current, 1, counts)
+        out.append(current)
+    return out, counts
+
+
+def hoisted_rotations(
+    ctx: CKKSContext, ct: Ciphertext, n1: int
+) -> tuple[List[Ciphertext], RotationCounts]:
+    """MAD's Hoisting: share Decomp/ModUp across rotations (Figure 8b).
+
+    The automorphism commutes with Decomp and base conversion (both act
+    identically on every coefficient position), so the extended digits of
+    the input can be permuted per target amount instead of re-running
+    ModUp for each.
+    """
+    counts = RotationCounts()
+    out = [ct.copy()]
+    if n1 <= 1:
+        return out, counts
+    level = ct.level
+    q_moduli = ctx.params.moduli[: level + 1]
+    p_moduli = ctx.params.special_moduli
+    digits = keyswitch.decompose(ct.polys[1], ctx.params.alpha)
+    digits_ext = [keyswitch.mod_up(d, q_moduli, p_moduli) for d in digits]
+    counts.mod_ups += 1
+    for r in range(1, n1):
+        t = rotation_galois_element(ctx.params.n, r)
+        rot_digits = [d.automorphism(t) for d in digits_ext]
+        counts.automorphisms += 1
+        b_rot = ct.polys[0].automorphism(t)
+        evk = ctx.rotation_key(r, level)
+        counts.evk_amounts.add(r % ctx.params.slots)
+        acc_b, acc_a = keyswitch.ksk_inner_product(rot_digits, evk)
+        counts.inner_products += 1
+        ks_b = keyswitch.mod_down(acc_b, q_moduli, p_moduli)
+        ks_a = keyswitch.mod_down(acc_a, q_moduli, p_moduli)
+        counts.mod_downs += 1
+        out.append(Ciphertext([b_rot + ks_b, ks_a], ct.scale, level))
+    return out, counts
+
+
+def hybrid_rotations(
+    ctx: CKKSContext, ct: Ciphertext, n1: int, r_hyb: int
+) -> tuple[List[Ciphertext], RotationCounts]:
+    """CROPHE's hybrid rotation (Figure 8c).
+
+    Coarse steps ``r_hyb, 2*r_hyb, ...`` follow a Min-KS chain using the
+    single amount-``r_hyb`` evk; from each coarse result (including the
+    original ciphertext) the fine steps ``1 .. r_hyb-1`` follow Hoisting.
+    Fine evks are shared across all coarse groups.
+
+    With ``r_hyb = 1`` this degenerates to pure Min-KS; with
+    ``r_hyb >= n1`` to pure Hoisting.
+    """
+    if r_hyb < 1:
+        raise ValueError("r_hyb must be >= 1")
+    counts = RotationCounts()
+    num_coarse = -(n1 // -r_hyb)  # ceil(n1 / r_hyb) groups incl. the base
+    coarse_bases: List[Ciphertext] = [ct.copy()]
+    current = ct
+    for _ in range(1, num_coarse):
+        current = _rotate_with_key(ctx, current, r_hyb, counts)
+        coarse_bases.append(current)
+    out: List[Ciphertext] = [None] * n1  # type: ignore[list-item]
+    level = ct.level
+    q_moduli = ctx.params.moduli[: level + 1]
+    p_moduli = ctx.params.special_moduli
+    for g, base in enumerate(coarse_bases):
+        base_amount = g * r_hyb
+        out[base_amount] = base
+        fine_max = min(r_hyb - 1, n1 - 1 - base_amount)
+        if fine_max < 1:
+            continue
+        digits = keyswitch.decompose(base.polys[1], ctx.params.alpha)
+        digits_ext = [keyswitch.mod_up(d, q_moduli, p_moduli) for d in digits]
+        counts.mod_ups += 1
+        for r in range(1, fine_max + 1):
+            t = rotation_galois_element(ctx.params.n, r)
+            rot_digits = [d.automorphism(t) for d in digits_ext]
+            counts.automorphisms += 1
+            b_rot = base.polys[0].automorphism(t)
+            evk = ctx.rotation_key(r, level)
+            counts.evk_amounts.add(r % ctx.params.slots)
+            acc_b, acc_a = keyswitch.ksk_inner_product(rot_digits, evk)
+            counts.inner_products += 1
+            ks_b = keyswitch.mod_down(acc_b, q_moduli, p_moduli)
+            ks_a = keyswitch.mod_down(acc_a, q_moduli, p_moduli)
+            counts.mod_downs += 1
+            out[base_amount + r] = Ciphertext(
+                [b_rot + ks_b, ks_a], base.scale, level
+            )
+    return out, counts
+
+
+def hybrid_cost_summary(n1: int, r_hyb: int) -> Dict[str, int]:
+    """Closed-form cost of hybrid rotation (the scheduler's formulas).
+
+    Matches Section V-C: ``ceil(n1/r_hyb) - 1`` coarse Min-KS steps, each
+    coarse group hoisting at most ``r_hyb - 1`` fine steps, fine evks
+    shared across groups.
+    """
+    if r_hyb < 1:
+        raise ValueError("r_hyb must be >= 1")
+    num_groups = -(n1 // -r_hyb)
+    coarse_steps = num_groups - 1
+    fine_steps = n1 - num_groups
+    # ModUps: one per coarse step (Min-KS) plus one per group that has
+    # any fine step.
+    groups_with_fine = sum(
+        1 for g in range(num_groups) if min(r_hyb - 1, n1 - 1 - g * r_hyb) >= 1
+    )
+    distinct_fine_evks = min(r_hyb - 1, n1 - 1)
+    evks = distinct_fine_evks + (1 if coarse_steps else 0)
+    return {
+        "coarse_steps": coarse_steps,
+        "fine_steps": fine_steps,
+        "mod_ups": coarse_steps + groups_with_fine,
+        "mod_downs": coarse_steps + fine_steps,
+        "distinct_evks": evks,
+    }

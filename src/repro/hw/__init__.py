@@ -1,0 +1,24 @@
+"""Hardware model: PE array, NoC, memories, transpose unit, area/power.
+
+``repro.hw.config`` carries the Table I configurations of the two CROPHE
+variants and the baseline accelerators; ``repro.hw.area`` reproduces the
+Table II area/power breakdown analytically.
+"""
+
+from repro.hw.config import (
+    HardwareConfig,
+    CROPHE_64,
+    CROPHE_36,
+    CROPHE_28,
+    crophe_config,
+    HW_CONFIGS,
+)
+
+__all__ = [
+    "HardwareConfig",
+    "CROPHE_64",
+    "CROPHE_36",
+    "CROPHE_28",
+    "crophe_config",
+    "HW_CONFIGS",
+]

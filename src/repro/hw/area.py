@@ -1,0 +1,157 @@
+"""Analytical area and power model (paper Table II).
+
+The paper synthesizes RTL at 7 nm and reports the CROPHE-36 breakdown in
+Table II.  We seed the model with those exact per-component numbers and
+scale analytically to other word lengths and PE counts:
+
+* modular multiplier area/power scale ~quadratically with word length
+  (a w-bit multiplier is ~w^2 full-adder cells);
+* adders, register files, and network ports scale linearly;
+* the global buffer scales linearly with capacity at the Table II
+  density (116.05 mm^2 for 180 MB).
+
+This is the substitution for the paper's ASAP7 + FN-CACTI + Orion flow;
+at the reference configuration the model reproduces Table II exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hw.config import HardwareConfig
+
+# Table II reference: CROPHE-36, 256-lane PE, 64 kB register file.
+_REF_WORD_BITS = 36
+_REF_LANES = 256
+_REF_RF_KB = 64
+
+# Per-PE component areas (um^2) and powers (mW) at the reference point.
+REF_PE_COMPONENTS: Dict[str, Tuple[float, float]] = {
+    "modular multipliers": (337650.31, 388.80),
+    "modular adders/subtractors": (27784.55, 33.79),
+    "register files": (67242.02, 16.86),
+    "inter-lane network": (15806.76, 58.17),
+}
+
+# Chip-level reference values (mm^2, W) for CROPHE-36 (128 PEs, 180 MB).
+REF_CHIP: Dict[str, Tuple[float, float]] = {
+    "inter-pe noc & crossbars": (40.70, 67.40),
+    "global buffer": (116.05, 15.34),
+    "transpose unit": (7.38, 2.87),
+    "hbm phy": (29.60, 31.80),
+}
+_REF_NUM_PES = 128
+_REF_SRAM_MB = 180.0
+
+
+@dataclass
+class AreaReport:
+    """Structured area/power breakdown."""
+
+    pe_components_um2: Dict[str, float]
+    pe_components_mw: Dict[str, float]
+    pe_total_um2: float
+    pe_total_mw: float
+    chip_components_mm2: Dict[str, float]
+    chip_components_w: Dict[str, float]
+    total_area_mm2: float
+    total_power_w: float
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """Flat (component, area, power) rows in Table II order."""
+        out = [
+            (name, self.pe_components_um2[name], self.pe_components_mw[name])
+            for name in REF_PE_COMPONENTS
+        ]
+        out.append(("PE", self.pe_total_um2, self.pe_total_mw))
+        for name, area in self.chip_components_mm2.items():
+            out.append((name, area, self.chip_components_w[name]))
+        out.append(("Total", self.total_area_mm2, self.total_power_w))
+        return out
+
+
+def _word_scale(word_bits: int, exponent: float) -> float:
+    return (word_bits / _REF_WORD_BITS) ** exponent
+
+
+def pe_area_um2(config: HardwareConfig) -> Dict[str, float]:
+    """Per-PE component areas for an arbitrary configuration."""
+    lane_scale = config.lanes_per_pe / _REF_LANES
+    rf_scale = config.register_file_kb / _REF_RF_KB
+    return {
+        "modular multipliers":
+            REF_PE_COMPONENTS["modular multipliers"][0]
+            * lane_scale * _word_scale(config.word_bits, 2.0),
+        "modular adders/subtractors":
+            REF_PE_COMPONENTS["modular adders/subtractors"][0]
+            * lane_scale * _word_scale(config.word_bits, 1.0),
+        "register files":
+            REF_PE_COMPONENTS["register files"][0] * rf_scale,
+        "inter-lane network":
+            REF_PE_COMPONENTS["inter-lane network"][0]
+            * lane_scale * _word_scale(config.word_bits, 1.0),
+    }
+
+
+def pe_power_mw(config: HardwareConfig) -> Dict[str, float]:
+    """Per-PE component powers (scale like area, plus frequency)."""
+    freq_scale = config.frequency_ghz / 1.2
+    lane_scale = config.lanes_per_pe / _REF_LANES
+    rf_scale = config.register_file_kb / _REF_RF_KB
+    return {
+        "modular multipliers":
+            REF_PE_COMPONENTS["modular multipliers"][1]
+            * lane_scale * _word_scale(config.word_bits, 2.0) * freq_scale,
+        "modular adders/subtractors":
+            REF_PE_COMPONENTS["modular adders/subtractors"][1]
+            * lane_scale * _word_scale(config.word_bits, 1.0) * freq_scale,
+        "register files":
+            REF_PE_COMPONENTS["register files"][1] * rf_scale * freq_scale,
+        "inter-lane network":
+            REF_PE_COMPONENTS["inter-lane network"][1]
+            * lane_scale * _word_scale(config.word_bits, 1.0) * freq_scale,
+    }
+
+
+def area_report(config: HardwareConfig) -> AreaReport:
+    """Full Table II-style breakdown for any CROPHE-like configuration."""
+    pe_um2 = pe_area_um2(config)
+    pe_mw = pe_power_mw(config)
+    pe_total_um2 = sum(pe_um2.values())
+    pe_total_mw = sum(pe_mw.values())
+    pe_scale = config.num_pes / _REF_NUM_PES
+    word = _word_scale(config.word_bits, 1.0)
+    chip_mm2 = {
+        "128 PEs" if config.num_pes == 128 else f"{config.num_pes} PEs":
+            pe_total_um2 * config.num_pes / 1e6,
+        "inter-PE NoC & crossbars":
+            REF_CHIP["inter-pe noc & crossbars"][0] * pe_scale * word,
+        "global buffer":
+            REF_CHIP["global buffer"][0]
+            * (config.sram_capacity_mb / _REF_SRAM_MB),
+        "transpose unit":
+            REF_CHIP["transpose unit"][0] * word,
+        "HBM PHY": REF_CHIP["hbm phy"][0],
+    }
+    chip_w = {
+        list(chip_mm2)[0]: pe_total_mw * config.num_pes / 1e3,
+        "inter-PE NoC & crossbars":
+            REF_CHIP["inter-pe noc & crossbars"][1] * pe_scale * word,
+        "global buffer":
+            REF_CHIP["global buffer"][1]
+            * (config.sram_capacity_mb / _REF_SRAM_MB),
+        "transpose unit":
+            REF_CHIP["transpose unit"][1] * word,
+        "HBM PHY": REF_CHIP["hbm phy"][1],
+    }
+    return AreaReport(
+        pe_components_um2=pe_um2,
+        pe_components_mw=pe_mw,
+        pe_total_um2=pe_total_um2,
+        pe_total_mw=pe_total_mw,
+        chip_components_mm2=chip_mm2,
+        chip_components_w=chip_w,
+        total_area_mm2=sum(chip_mm2.values()),
+        total_power_w=sum(chip_w.values()),
+    )

@@ -1,0 +1,38 @@
+"""The SRAM-based transpose unit (Section IV-A).
+
+Sits at one edge of the chip, connected to the PEs through a crossbar;
+performs on-chip data transposition for the four-step NTT's orientation
+switches.  A few MB capacity suffices (one limb-tile in flight); the
+throughput model is write-then-read at SRAM speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class TransposeUnit:
+    """Capacity-limited streaming transpose."""
+
+    capacity_bytes: int
+    bytes_per_second: float
+
+    @classmethod
+    def for_config(cls, config: HardwareConfig) -> "TransposeUnit":
+        # The unit runs at the PE clock with a wide port; model its
+        # throughput as a fixed fraction of global SRAM bandwidth.
+        return cls(
+            capacity_bytes=int(config.transpose_unit_mb * (1 << 20)),
+            bytes_per_second=config.sram_bytes_per_second * 0.25,
+        )
+
+    def fits_tile(self, nbytes: int) -> bool:
+        """Whether one in-flight tile fits the unit."""
+        return nbytes <= self.capacity_bytes
+
+    def transpose_seconds(self, nbytes: int) -> float:
+        """Streaming transpose: overlapping write and read passes."""
+        return nbytes / self.bytes_per_second

@@ -1,0 +1,27 @@
+"""Operator-graph intermediate representation.
+
+The CROPHE scheduler reasons about FHE programs as DAGs of *operators*
+(element-wise, BConv, NTT/iNTT, automorphism, evk inner-product,
+transpose) connected by *data tensors* (intermediate ciphertext limb
+matrices and auxiliary constants such as evaluation keys and BConv
+matrices).  Each operator carries the candidate *loop nests* it can
+execute with — the nested-loop notation of Section V-A (e.g.
+``N1 > L > N2``) — which is what the fine-grained pipelining/sharing
+test operates on.
+"""
+
+from repro.ir.loops import Axis, Loop, LoopNest
+from repro.ir.tensors import DataTensor, TensorKind
+from repro.ir.operators import OpKind, Operator
+from repro.ir.graph import OperatorGraph
+
+__all__ = [
+    "Axis",
+    "Loop",
+    "LoopNest",
+    "DataTensor",
+    "TensorKind",
+    "OpKind",
+    "Operator",
+    "OperatorGraph",
+]

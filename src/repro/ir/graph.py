@@ -1,0 +1,252 @@
+"""The operator DAG.
+
+An :class:`OperatorGraph` holds :class:`~repro.ir.operators.Operator`
+nodes connected through :class:`~repro.ir.tensors.DataTensor` edges.  A
+tensor has at most one producer (graph inputs and constants have none)
+and any number of consumers.  The scheduler consumes graphs through the
+topological-order and subgraph-enumeration helpers here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.ir.operators import Operator
+from repro.ir.tensors import DataTensor, TensorKind
+
+
+class OperatorGraph:
+    """A DAG of FHE operators with explicit tensor edges."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._nx = nx.DiGraph()
+        self._producer: Dict[int, Operator] = {}       # tensor uid -> op
+        self._consumers: Dict[int, List[Operator]] = {}
+        self._tensors: Dict[int, DataTensor] = {}
+        self._ops: Dict[int, Operator] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_operator(self, op: Operator) -> Operator:
+        """Insert an operator; wires edges via its input/output tensors."""
+        if op.uid in self._ops:
+            raise ValueError(f"operator {op.name} already in graph")
+        self._ops[op.uid] = op
+        self._nx.add_node(op)
+        for t in op.outputs:
+            if t.uid in self._producer:
+                raise ValueError(f"tensor {t.name} already has a producer")
+            self._producer[t.uid] = op
+            self._tensors[t.uid] = t
+            # Late consumers may already be registered.
+            for consumer in self._consumers.get(t.uid, []):
+                self._nx.add_edge(op, consumer, tensor=t)
+        for t in op.inputs:
+            self._tensors[t.uid] = t
+            self._consumers.setdefault(t.uid, []).append(op)
+            producer = self._producer.get(t.uid)
+            if producer is not None:
+                self._nx.add_edge(producer, op, tensor=t)
+        return op
+
+    def merge(self, other: "OperatorGraph") -> None:
+        """Absorb all operators of another graph (tensors may be shared)."""
+        for op in other.operators_topological():
+            self.add_operator(op)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_operators(self) -> int:
+        return len(self._ops)
+
+    @property
+    def operators(self) -> List[Operator]:
+        return list(self._ops.values())
+
+    @property
+    def tensors(self) -> List[DataTensor]:
+        return list(self._tensors.values())
+
+    def producer_of(self, tensor: DataTensor) -> Optional[Operator]:
+        """The operator producing a tensor (None for inputs/constants)."""
+        return self._producer.get(tensor.uid)
+
+    def consumers_of(self, tensor: DataTensor) -> List[Operator]:
+        """All operators consuming a tensor."""
+        return list(self._consumers.get(tensor.uid, []))
+
+    def predecessors(self, op: Operator) -> List[Operator]:
+        """Operators feeding ``op``."""
+        return list(self._nx.predecessors(op))
+
+    def successors(self, op: Operator) -> List[Operator]:
+        """Operators fed by ``op``."""
+        return list(self._nx.successors(op))
+
+    def operators_topological(self) -> List[Operator]:
+        """Depth-first topological order with constant affinity.
+
+        Two rules shape the order, both in service of the scheduler's
+        contiguous-window grouping:
+
+        * depth-first (LIFO) — following a producer's consumers before
+          starting sibling chains keeps tensor liveness low, so chains
+          are grouped contiguously instead of interleaving breadth-first;
+        * constant affinity — among ready operators, one sharing a
+          constant input (e.g. the same evk) with the previously emitted
+          operator goes first, placing same-constant consumers in the
+          same window so the fetch is shared (fine-grained spatial
+          sharing, Section V-A).
+        """
+        indegree = {op: self._nx.in_degree(op) for op in self._nx.nodes}
+        ready = [op for op in self._nx.nodes if indegree[op] == 0]
+        order: List[Operator] = []
+        last_constants: Set[int] = set()
+        while ready:
+            pick_index = len(ready) - 1
+            if last_constants:
+                for i in range(len(ready) - 1, -1, -1):
+                    consts = {
+                        t.uid for t in ready[i].inputs if t.is_constant
+                    }
+                    if consts & last_constants:
+                        pick_index = i
+                        break
+            op = ready.pop(pick_index)
+            order.append(op)
+            last_constants = {t.uid for t in op.inputs if t.is_constant}
+            for succ in self._nx.successors(op):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
+            raise ValueError(f"graph {self.name} has a cycle")
+        return order
+
+    def edge_tensor(self, producer: Operator, consumer: Operator) -> DataTensor:
+        """The tensor carried on a producer->consumer edge."""
+        return self._nx.edges[producer, consumer]["tensor"]
+
+    def graph_inputs(self) -> List[DataTensor]:
+        """Tensors with no producer that some operator consumes."""
+        return [
+            self._tensors[uid]
+            for uid in self._consumers
+            if uid not in self._producer
+        ]
+
+    def graph_outputs(self) -> List[DataTensor]:
+        """Tensors produced but never consumed."""
+        return [
+            self._tensors[uid]
+            for uid in self._producer
+            if uid not in self._consumers
+        ]
+
+    def constant_tensors(self) -> List[DataTensor]:
+        """All auxiliary constant tensors referenced by the graph."""
+        return [t for t in self._tensors.values() if t.is_constant]
+
+    def validate(self) -> None:
+        """Check acyclicity and tensor wiring consistency."""
+        if not nx.is_directed_acyclic_graph(self._nx):
+            raise ValueError(f"graph {self.name} has a cycle")
+        for uid, consumers in self._consumers.items():
+            t = self._tensors[uid]
+            if t.kind is TensorKind.POLY and uid not in self._producer:
+                # Intermediate polys should have producers unless they are
+                # graph inputs, which is legal; nothing to check.
+                pass
+
+    # ------------------------------------------------------------------
+    # Scheduling support
+    # ------------------------------------------------------------------
+
+    def contiguous_windows(
+        self, max_size: int
+    ) -> Iterator[Tuple[Operator, ...]]:
+        """Windows of consecutive operators along a topological order.
+
+        The scheduler's bottom-up composition enumerates candidate
+        spatial groups from these windows (a practical restriction of
+        "all subgraphs up to a certain size", Section V-D).
+        """
+        order = self.operators_topological()
+        for start in range(len(order)):
+            for size in range(1, max_size + 1):
+                if start + size > len(order):
+                    break
+                yield tuple(order[start: start + size])
+
+    def subgraph_signature(self, ops: Sequence[Operator]) -> Tuple:
+        """Structural signature of an operator window (for memoization).
+
+        Two windows with identical signatures have the same operator
+        structure and internal connectivity, so one search result serves
+        both — the paper's redundant-subgraph merging.
+        """
+        index = {op.uid: i for i, op in enumerate(ops)}
+        parts = []
+        for i, op in enumerate(ops):
+            edges = tuple(
+                sorted(
+                    index[succ.uid]
+                    for succ in self.successors(op)
+                    if succ.uid in index
+                )
+            )
+            parts.append((op.signature(), edges))
+        return tuple(parts)
+
+    def internal_tensors(
+        self, ops: Sequence[Operator]
+    ) -> List[DataTensor]:
+        """Tensors produced and consumed entirely inside ``ops``."""
+        uids = {op.uid for op in ops}
+        out = []
+        for t_uid, producer in self._producer.items():
+            if producer.uid not in uids:
+                continue
+            consumers = self._consumers.get(t_uid, [])
+            if consumers and all(c.uid in uids for c in consumers):
+                out.append(self._tensors[t_uid])
+        return out
+
+    def boundary_tensors(
+        self, ops: Sequence[Operator]
+    ) -> Tuple[List[DataTensor], List[DataTensor]]:
+        """(external inputs, external outputs) of an operator window."""
+        uids = {op.uid for op in ops}
+        ins: List[DataTensor] = []
+        outs: List[DataTensor] = []
+        seen: Set[int] = set()
+        for op in ops:
+            for t in op.inputs:
+                producer = self._producer.get(t.uid)
+                external = producer is None or producer.uid not in uids
+                if external and t.uid not in seen:
+                    ins.append(t)
+                    seen.add(t.uid)
+        for op in ops:
+            for t in op.outputs:
+                consumers = self._consumers.get(t.uid, [])
+                if (
+                    not consumers
+                    or any(c.uid not in uids for c in consumers)
+                ):
+                    outs.append(t)
+        return ins, outs
+
+    def __repr__(self) -> str:
+        return (
+            f"<OperatorGraph {self.name}: {self.num_operators} ops, "
+            f"{len(self._tensors)} tensors>"
+        )

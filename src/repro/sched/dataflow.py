@@ -1,0 +1,405 @@
+"""Dataflow group plans and schedules.
+
+A :class:`SpatialGroupPlan` is one bottom-level group of co-running
+operators (Section V-A): operators are allocated PEs proportional to
+their compute load and stream data to each other at the granularity
+their matched top loops allow.  The plan computes
+
+* the on-chip buffer footprint (fine-grained pipelining/sharing shrinks
+  it from full tensors to per-chunk granules);
+* the traffic each memory level sees (matched edges forward PE-to-PE
+  over the NoC and bypass the global SRAM entirely — the paper's main
+  source of speedup);
+* compute/NoC/transpose occupancy.
+
+A :class:`Schedule` is the three-level hierarchy flattened into ordered
+:class:`ScheduledStep`s; consecutive steps may keep tensors SRAM-resident
+(temporal pipelining) and reuse constants already on-chip (temporal
+sharing), which the scheduler decides and records per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import HbmMemory, SramBuffer
+from repro.hw.noc import MeshNoc
+from repro.hw.pe import operator_cycles
+from repro.hw.transpose import TransposeUnit
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator, OpKind
+from repro.ir.tensors import DataTensor, TensorKind
+from repro.sched.tiling import NestAssignment, assign_loop_nests
+
+
+def _specialized_cycles(op: Operator, cfg: HardwareConfig) -> int:
+    """Cycles on a specialized baseline: only the matching functional
+    units' share of the total logic works on this operator class."""
+    mix = cfg.fu_mix
+    assert mix is not None
+    if op.kind.is_monolithic_ntt or op.kind.is_ntt_phase:
+        fraction = mix.ntt
+    elif op.kind is OpKind.AUTOMORPHISM:
+        fraction = mix.automorphism
+    elif op.kind is OpKind.BCONV:
+        fraction = mix.bconv
+    else:
+        fraction = mix.elementwise
+    lanes = max(1, int(cfg.total_lanes * fraction))
+    if op.kind is OpKind.AUTOMORPHISM:
+        moves = op.limbs * op.n
+        return max(1, -(moves // -lanes))
+    work = op.mul_work or op.add_work
+    if work == 0:
+        return 1
+    return max(1, -(work // -lanes))
+
+
+@dataclass
+class GroupMetrics:
+    """Raw resource demands of one spatial group."""
+
+    compute_cycles: int = 0
+    buffer_bytes: int = 0
+    noc_bytes: int = 0
+    transpose_bytes: int = 0
+    sram_bytes: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    constant_bytes: Dict[int, int] = field(default_factory=dict)
+    #: Per-tensor external read charges (slice-aware): what this group
+    #: actually pulled from memory for each external input.
+    external_read_bytes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+class SpatialGroupPlan:
+    """One spatial pipelining/sharing group on the PE array."""
+
+    def __init__(
+        self,
+        graph: OperatorGraph,
+        ops: Sequence[Operator],
+        config: HardwareConfig,
+        n_split: Optional[Tuple[int, int]] = None,
+        assignment: Optional[NestAssignment] = None,
+    ):
+        self.graph = graph
+        self.ops: Tuple[Operator, ...] = tuple(ops)
+        self.config = config
+        self.n_split = n_split
+        self.assignment = assignment or assign_loop_nests(graph, ops, n_split)
+        self.pe_allocation = self._allocate_pes()
+        self.metrics = self._compute_metrics()
+
+    # ------------------------------------------------------------------
+    # PE allocation (Section IV-B: proportional to computational load)
+    # ------------------------------------------------------------------
+
+    def _allocate_pes(self) -> Dict[int, int]:
+        compute_ops = [
+            op for op in self.ops if op.kind is not OpKind.TRANSPOSE
+        ]
+        total_pes = self.config.num_pes
+        if len(compute_ops) > total_pes:
+            # More operators than PEs: infeasible as one spatial group.
+            return {}
+        loads = {op.uid: max(op.total_work, 1) for op in compute_ops}
+        total_load = sum(loads.values())
+        alloc: Dict[int, int] = {}
+        remaining = total_pes
+        # Everyone gets at least one PE; distribute the rest by load.
+        for op in compute_ops:
+            alloc[op.uid] = 1
+            remaining -= 1
+        if remaining > 0 and total_load > 0:
+            fractional = []
+            for op in compute_ops:
+                share = remaining * loads[op.uid] / total_load
+                extra = int(share)
+                alloc[op.uid] += extra
+                fractional.append((share - extra, op.uid))
+            leftover = remaining - sum(int(remaining * loads[u] / total_load)
+                                       for u in loads)
+            for _, uid in sorted(fractional, reverse=True)[:leftover]:
+                alloc[uid] += 1
+        return alloc
+
+    @property
+    def feasible_allocation(self) -> bool:
+        return bool(self.pe_allocation) or all(
+            op.kind is OpKind.TRANSPOSE for op in self.ops
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _granule_bytes(self, op: Operator, matched: int) -> int:
+        nest = self.assignment.nest_of(op)
+        return nest.granule_elements(matched) * self.config.word_bytes
+
+    def _stream_chunk_bytes(self, consumer: Operator, tensor: DataTensor) -> int:
+        """Buffer slice for a tensor streamed from outside the group."""
+        nest = self.assignment.nest_of(consumer)
+        if len(nest) == 0:
+            return tensor.bytes
+        outer = nest.loops[0].size
+        chunk = max(tensor.bytes // max(outer, 1), self.config.word_bytes)
+        return min(tensor.bytes, chunk)
+
+    def _compute_metrics(self) -> GroupMetrics:
+        m = GroupMetrics()
+        uids = {op.uid for op in self.ops}
+        cfg = self.config
+
+        # Compute: pipelined operators run concurrently; the group's
+        # makespan is the slowest stage.
+        worst = 0
+        for op in self.ops:
+            if op.kind is OpKind.TRANSPOSE:
+                m.transpose_bytes += sum(t.bytes for t in op.inputs)
+                continue
+            if cfg.fu_mix is not None:
+                worst = max(worst, _specialized_cycles(op, cfg))
+            else:
+                pes = self.pe_allocation.get(op.uid, 1)
+                worst = max(worst, operator_cycles(op, pes, cfg.lanes_per_pe))
+        m.compute_cycles = worst
+
+        counted_constants: Set[int] = set()
+        counted_externals: Set[int] = set()
+        buffer = 0
+
+        for op in self.ops:
+            for t in op.inputs:
+                producer = self.graph.producer_of(t)
+                internal = producer is not None and producer.uid in uids
+                if internal:
+                    matched = self.assignment.match_of(producer, op)
+                    if matched > 0:
+                        # Fine-grained pipeline: PE-to-PE over the NoC,
+                        # double-buffered granule, no SRAM traffic.
+                        buffer += 2 * self._granule_bytes(producer, matched)
+                        m.noc_bytes += t.bytes
+                    else:
+                        # Orientation switch: materialize via SRAM (or the
+                        # transpose unit when it is a transpose edge).
+                        if (
+                            producer.kind is OpKind.TRANSPOSE
+                            or op.kind is OpKind.TRANSPOSE
+                        ):
+                            m.transpose_bytes += t.bytes
+                            buffer += min(
+                                t.bytes,
+                                TransposeUnit.for_config(cfg).capacity_bytes,
+                            )
+                        else:
+                            buffer += t.bytes
+                            m.sram_bytes += 2 * t.bytes
+                elif t.is_constant:
+                    # Auxiliary constants: fetched once per group (spatial
+                    # sharing), streamed in chunks.
+                    if t.uid not in counted_constants:
+                        counted_constants.add(t.uid)
+                        chunk = self._stream_chunk_bytes(op, t)
+                        buffer += 2 * chunk
+                        m.constant_bytes[t.uid] = t.bytes
+                        m.sram_bytes += t.bytes
+                        m.noc_bytes += t.bytes
+                else:
+                    # External intermediate/input: streamed from memory,
+                    # fetched once per group even with several consumers
+                    # (spatial sharing applies to intermediates too), and
+                    # charged only for the slice the operator consumes —
+                    # a digit extraction reads alpha limbs of a full
+                    # ciphertext polynomial, not all of it.
+                    chunk = self._stream_chunk_bytes(op, t)
+                    buffer += 2 * chunk
+                    slice_bytes = min(
+                        t.bytes,
+                        op.limbs * op.n * self.config.word_bytes,
+                    )
+                    charged = m.external_read_bytes.get(t.uid, 0)
+                    if slice_bytes > charged:
+                        extra = slice_bytes - charged
+                        m.external_read_bytes[t.uid] = slice_bytes
+                        m.dram_read_bytes += extra
+                        m.sram_bytes += extra
+                        m.noc_bytes += extra
+                    counted_externals.add(t.uid)
+            for t in op.outputs:
+                consumers = self.graph.consumers_of(t)
+                escapes = not consumers or any(
+                    c.uid not in uids for c in consumers
+                )
+                if escapes:
+                    chunk = self._stream_chunk_bytes(op, t)
+                    buffer += 2 * chunk
+                    m.dram_write_bytes += t.bytes
+                    m.sram_bytes += t.bytes
+                    m.noc_bytes += t.bytes
+        # Constants' DRAM cost is accounted at schedule level (they may be
+        # resident from a previous step); record reads here as the default.
+        m.dram_read_bytes += sum(m.constant_bytes.values())
+        m.buffer_bytes = buffer
+        return m
+
+    @property
+    def fits_buffer(self) -> bool:
+        return self.metrics.buffer_bytes <= self.config.sram_capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def execution_seconds(
+        self,
+        resident_inputs: Optional[Set[int]] = None,
+        resident_constants: Optional[Set[int]] = None,
+        kept_outputs: Optional[Set[int]] = None,
+        constant_share: int = 1,
+        extra_write_bytes: int = 0,
+    ) -> Tuple[float, GroupMetrics]:
+        """Group execution time given what is already SRAM-resident.
+
+        ``resident_inputs`` skip their DRAM read (they are pooled in SRAM
+        or streamed from the previous step via temporal pipelining),
+        ``resident_constants`` skip their DRAM fetch (temporal sharing),
+        and ``kept_outputs`` skip their DRAM write (pooled, or deferred
+        until the next step decides their fate).  ``extra_write_bytes``
+        charges spills whose decision was deferred from the previous
+        step.  Returns the bottleneck time (max of compute / DRAM / SRAM
+        / NoC / transpose) and the effective metrics after discounts.
+        """
+        cfg = self.config
+        m = self.metrics
+        eff = GroupMetrics(
+            compute_cycles=m.compute_cycles,
+            buffer_bytes=m.buffer_bytes,
+            noc_bytes=m.noc_bytes,
+            transpose_bytes=m.transpose_bytes,
+            sram_bytes=m.sram_bytes,
+            dram_read_bytes=m.dram_read_bytes,
+            dram_write_bytes=m.dram_write_bytes,
+            constant_bytes=dict(m.constant_bytes),
+            external_read_bytes=dict(m.external_read_bytes),
+        )
+        resident_inputs = resident_inputs or set()
+        resident_constants = resident_constants or set()
+        uids = {op.uid for op in self.ops}
+        # Inputs already in SRAM skip the DRAM read (discount the charged
+        # slice once per tensor).
+        discounted: Set[int] = set()
+        for op in self.ops:
+            for t in op.inputs:
+                producer = self.graph.producer_of(t)
+                internal = producer is not None and producer.uid in uids
+                if internal or t.is_constant or t.uid in discounted:
+                    continue
+                if t.uid in resident_inputs:
+                    discounted.add(t.uid)
+                    eff.dram_read_bytes -= m.external_read_bytes.get(
+                        t.uid, t.bytes
+                    )
+        # Constants already resident (temporal sharing) are not re-read;
+        # with data-parallel clusters (CROPHE-p) one fetch feeds all
+        # ``constant_share`` clusters via multicast, so each cluster pays
+        # a 1/share slice of the remaining cold constant reads.
+        for uid, nbytes in m.constant_bytes.items():
+            if uid in resident_constants:
+                eff.dram_read_bytes -= nbytes
+            elif constant_share > 1:
+                eff.dram_read_bytes -= nbytes * (constant_share - 1) // constant_share
+        eff.dram_read_bytes = max(eff.dram_read_bytes, 0)
+        # Outputs kept on-chip for the next step skip their DRAM write.
+        if kept_outputs:
+            _, outs = self.boundary()
+            for t in outs:
+                if t.uid in kept_outputs:
+                    eff.dram_write_bytes -= t.bytes
+            eff.dram_write_bytes = max(eff.dram_write_bytes, 0)
+        eff.dram_write_bytes += max(extra_write_bytes, 0)
+
+        hbm = HbmMemory.for_config(cfg)
+        sram = SramBuffer.for_config(cfg)
+        noc = MeshNoc.for_config(cfg)
+        tpu = TransposeUnit.for_config(cfg)
+        compute_s = eff.compute_cycles / (cfg.frequency_ghz * 1e9)
+        dram_s = hbm.access_seconds(eff.dram_bytes)
+        sram_s = sram.access_seconds(eff.sram_bytes)
+        if cfg.fu_mix is not None:
+            # Baselines get an idealized NoC (paper, Section VII-B).
+            noc_s = 0.0
+        else:
+            noc_s = (
+                eff.noc_bytes
+                / (noc.aggregate_bytes_per_cycle() * cfg.frequency_ghz * 1e9)
+                * 4.0  # average path uses ~1/4 of links concurrently
+            )
+        transpose_s = tpu.transpose_seconds(eff.transpose_bytes)
+        return max(compute_s, dram_s, sram_s, noc_s, transpose_s), eff
+
+    def boundary(self) -> Tuple[List[DataTensor], List[DataTensor]]:
+        """External (inputs, outputs) of this group."""
+        return self.graph.boundary_tensors(self.ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpatialGroup {len(self.ops)} ops, "
+            f"buf={self.metrics.buffer_bytes >> 10} kB, "
+            f"cyc={self.metrics.compute_cycles}>"
+        )
+
+
+@dataclass
+class ScheduledStep:
+    """One executed group with its residency-adjusted cost."""
+
+    plan: SpatialGroupPlan
+    seconds: float
+    metrics: GroupMetrics
+    resident_inputs: Set[int] = field(default_factory=set)
+    resident_constants: Set[int] = field(default_factory=set)
+    kept_outputs: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class Schedule:
+    """A complete schedule: ordered steps plus aggregate accounting."""
+
+    steps: List[ScheduledStep] = field(default_factory=list)
+    repeat: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return self.repeat * sum(s.seconds for s in self.steps)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.repeat * sum(s.metrics.dram_bytes for s in self.steps)
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.repeat * sum(s.metrics.sram_bytes for s in self.steps)
+
+    @property
+    def noc_bytes(self) -> int:
+        return self.repeat * sum(s.metrics.noc_bytes for s in self.steps)
+
+    @property
+    def num_groups(self) -> int:
+        return self.repeat * len(self.steps)
+
+    def extend(self, other: "Schedule") -> None:
+        """Append another schedule, expanding its repeat count."""
+        if self.repeat != 1:
+            raise ValueError("cannot extend a repeated schedule in place")
+        factor = other.repeat
+        for _ in range(factor):
+            self.steps.extend(other.steps)

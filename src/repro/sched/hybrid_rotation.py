@@ -1,0 +1,121 @@
+"""Hybrid rotation enumeration and trade-off model (Section V-C).
+
+The hybrid scheme's parameter ``r_hyb`` trades ModUp/ModDown work
+(Min-KS pays one full key-switch per baby step) against distinct
+evaluation keys (Hoisting needs one per amount).  The paper's scheduler
+"enumerates it at the very beginning and generates one computational
+graph per r_hyb" — :func:`r_hyb_candidates` picks the values worth
+building, and :func:`estimate_tradeoff` provides the closed-form
+byte/op model used to reason about them without scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fhe.params import CKKSParams
+from repro.fhe.rotation import hybrid_cost_summary
+
+
+def r_hyb_candidates(n1: int, max_candidates: int = 4) -> List[int]:
+    """The r_hyb values worth building graphs for.
+
+    Powers of two between 1 (pure Min-KS) and ``n1`` (pure Hoisting)
+    cover the trade-off curve with logarithmically many points.
+    """
+    if n1 < 1:
+        raise ValueError("n1 must be >= 1")
+    out = []
+    r = 1
+    while r <= n1 and len(out) < max_candidates:
+        out.append(r)
+        r *= 2
+    if out[-1] != n1 and len(out) < max_candidates + 1:
+        out.append(n1)
+    return out
+
+
+@dataclass
+class RotationTradeoff:
+    """Closed-form resource estimate for one baby-step strategy."""
+
+    r_hyb: int
+    mod_ups: int
+    mod_downs: int
+    distinct_evks: int
+    evk_bytes: int
+    modup_mul_work: int
+
+    @property
+    def total_evk_stream_bytes(self) -> int:
+        """Bytes streamed if no evk stays resident (small-SRAM regime):
+        one stream per inner product, i.e. per ModDown pair / rotation."""
+        return self.mod_downs * self.evk_bytes
+
+    @property
+    def resident_evk_bytes(self) -> int:
+        """SRAM needed to keep the whole working set resident."""
+        return self.distinct_evks * self.evk_bytes
+
+
+def estimate_tradeoff(
+    params: CKKSParams, level: int, n1: int, r_hyb: int,
+    prng_halved: bool = True,
+) -> RotationTradeoff:
+    """Closed-form cost of hybrid baby steps at one level."""
+    summary = hybrid_cost_summary(n1, r_hyb)
+    beta = params.digits_at_level(level)
+    limbs = params.evk_limbs(level)
+    polys = 1 if prng_halved else 2
+    evk_bytes = polys * beta * limbs * params.n * params.bytes_per_word()
+    # One ModUp = beta digit conversions: iNTT(alpha) + BConv + NTT.
+    alpha = params.alpha
+    missing = limbs - alpha
+    n = params.n
+    log_n = params.log_n
+    modup_work = beta * (
+        alpha * (n // 2) * log_n            # iNTT
+        + alpha * missing * n               # BConv
+        + missing * (n // 2) * log_n        # NTT
+    )
+    return RotationTradeoff(
+        r_hyb=r_hyb,
+        mod_ups=summary["mod_ups"],
+        mod_downs=summary["mod_downs"],
+        distinct_evks=summary["distinct_evks"],
+        evk_bytes=evk_bytes,
+        modup_mul_work=summary["mod_ups"] * modup_work,
+    )
+
+
+def best_r_hyb_estimate(
+    params: CKKSParams,
+    level: int,
+    n1: int,
+    sram_budget_bytes: int,
+    muls_per_second: float,
+    dram_bytes_per_second: float,
+) -> int:
+    """Pick r_hyb by the closed-form model (a fast pre-filter).
+
+    If the working set fits the budget, evk streams are one-time and the
+    compute savings of large r_hyb win; otherwise every inner product
+    re-streams its evk and the estimate weighs bytes against ModUp work.
+    The real scheduler still evaluates the shortlisted candidates.
+    """
+    best = None
+    best_cost = None
+    for r in r_hyb_candidates(n1):
+        t = estimate_tradeoff(params, level, n1, r)
+        if t.resident_evk_bytes <= sram_budget_bytes:
+            evk_cost = t.resident_evk_bytes / dram_bytes_per_second
+        else:
+            evk_cost = t.total_evk_stream_bytes / dram_bytes_per_second
+        compute_cost = t.modup_mul_work / muls_per_second
+        cost = evk_cost + compute_cost
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best = r
+    assert best is not None
+    return best

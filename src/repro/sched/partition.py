@@ -1,0 +1,118 @@
+"""Graph pre-partitioning with redundant-subgraph merging (Section V-D).
+
+Large workload graphs (ResNet-scale) are too big to search directly; the
+paper pre-partitions the computational graph into acyclic segments of at
+most ~25 operators and merges structurally identical segments so each is
+searched only once.  :func:`partition_graph` walks a topological order
+and cuts segments at the size limit, preferring cut points with few live
+tensors (cheap boundaries); :func:`merge_redundant` groups segments by
+structural signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator
+
+#: The paper's empirical segment-size limit.
+DEFAULT_SEGMENT_LIMIT = 25
+
+
+@dataclass
+class GraphPartition:
+    """One acyclic segment of a partitioned graph."""
+
+    index: int
+    ops: Tuple[Operator, ...]
+    signature: Tuple = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.ops)
+
+
+def _live_tensor_count(
+    graph: OperatorGraph, order: Sequence[Operator], position: int
+) -> int:
+    """Tensors produced at or before ``position`` and consumed after it."""
+    produced = set()
+    for op in order[: position + 1]:
+        for t in op.outputs:
+            produced.add(t.uid)
+    live = 0
+    for op in order[position + 1:]:
+        for t in op.inputs:
+            if t.uid in produced:
+                live += 1
+                produced.discard(t.uid)  # count each tensor once
+    return live
+
+
+def partition_graph(
+    graph: OperatorGraph,
+    limit: int = DEFAULT_SEGMENT_LIMIT,
+    cut_window: int = 5,
+) -> List[GraphPartition]:
+    """Cut a topological order into segments of at most ``limit`` ops.
+
+    Within the last ``cut_window`` candidate positions of each segment,
+    the cut with the fewest live (crossing) tensors is chosen, which
+    keeps segment boundaries cheap — crossing tensors must materialize.
+    Cutting a topological order always yields acyclic segments with
+    forward-only dependencies (the constraint of [41]).
+    """
+    if limit < 1:
+        raise ValueError("segment limit must be >= 1")
+    order = graph.operators_topological()
+    partitions: List[GraphPartition] = []
+    start = 0
+    index = 0
+    while start < len(order):
+        end = min(start + limit, len(order))
+        if end < len(order):
+            # Choose the cheapest cut within the window [end-window, end].
+            best_end = end
+            best_live = None
+            lo = max(start + 1, end - cut_window)
+            for candidate in range(lo, end + 1):
+                live = _live_tensor_count(graph, order, candidate - 1)
+                if best_live is None or live < best_live:
+                    best_live = live
+                    best_end = candidate
+            end = best_end
+        ops = tuple(order[start:end])
+        partitions.append(
+            GraphPartition(
+                index=index,
+                ops=ops,
+                signature=graph.subgraph_signature(ops),
+            )
+        )
+        index += 1
+        start = end
+    return partitions
+
+
+def merge_redundant(
+    partitions: Sequence[GraphPartition],
+) -> Dict[Tuple, List[GraphPartition]]:
+    """Group segments by structural signature.
+
+    Each group is searched once and the result reused for every member —
+    e.g. the KeySwitch subgraph appearing throughout a workload.
+    """
+    groups: Dict[Tuple, List[GraphPartition]] = {}
+    for p in partitions:
+        groups.setdefault(p.signature, []).append(p)
+    return groups
+
+
+def redundancy_factor(partitions: Sequence[GraphPartition]) -> float:
+    """How much work merging saves: segments per distinct structure."""
+    if not partitions:
+        return 1.0
+    groups = merge_redundant(partitions)
+    return len(partitions) / len(groups)

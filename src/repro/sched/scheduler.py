@@ -1,0 +1,413 @@
+"""The CROPHE scheduling algorithm (paper Section V-D).
+
+Bottom-up composition with dynamic programming:
+
+1. enumerate candidate spatial groups as contiguous windows (size up to
+   ``max_group_size``) of the topological order, with one
+   :class:`~repro.sched.dataflow.SpatialGroupPlan` per (window structure,
+   NTT split) pair — plans for structurally identical windows are
+   memoized by signature (the paper's redundant-subgraph merging);
+2. dynamic programming over the topological order picks the window
+   sequence minimizing end-to-end time under the analytical cost model;
+3. consecutive steps keep boundary tensors SRAM-resident when they fit
+   (temporal pipelining) and keep constants on-chip across steps
+   (temporal sharing), which the DP transition prices in.
+
+The paper searches all subgraphs of a pre-partitioned graph exhaustively
+(100 CPU-hours for ResNet-20); contiguous-window DP with memoization is
+the tractable restriction we ship, with the window size and split
+candidates exposed as knobs.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.hw.config import HardwareConfig
+from repro.ir.graph import OperatorGraph
+from repro.ir.loops import power_of_two_splits
+from repro.ir.operators import Operator
+from repro.sched.dataflow import Schedule, ScheduledStep, SpatialGroupPlan
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Search knobs.
+
+    Attributes:
+        max_group_size: largest spatial group considered (paper: 7-10).
+        keep_fraction: fraction of SRAM a step may use to keep outputs
+            resident for the next step.
+        constant_residency_fraction: SRAM fraction reserved for constants
+            held across steps (temporal sharing).
+        min_ntt_tile: smallest N1/N2 tile for decomposed NTTs (tiles must
+            still fill the PE lanes, Section V-D).
+        constant_share: number of data-parallel clusters sharing each
+            constant fetch (CROPHE-p); 1 for a whole-chip schedule.
+    """
+
+    max_group_size: int = 7
+    keep_fraction: float = 0.5
+    constant_residency_fraction: float = 0.4
+    min_ntt_tile: int = 64
+    constant_share: int = 1
+    #: Workload segments are windows of one continuous program: their
+    #: ciphertext inputs arrive SRAM-resident from the previous segment
+    #: and their outputs stay on-chip for the next one (budget allowing).
+    chained_io: bool = True
+    #: Fine-grained temporal pipelining between consecutive groups: a
+    #: boundary tensor whose producer/consumer loop nests share top loops
+    #: streams through a granule-sized SRAM FIFO instead of spilling.
+    #: CROPHE's middle hierarchy level; off for MAD (its fusion islands
+    #: spill between groups).
+    temporal_streaming: bool = True
+    #: How many groups a deferred tensor may wait, holding only its
+    #: granule, before a streamable consumer must arrive (the depth of a
+    #: temporal pipelining group).  1 = adjacent groups only.
+    stream_window: int = 6
+
+
+@dataclass
+class _DpState:
+    """Forward DP state: cumulative time plus what lives in SRAM.
+
+    ``pool`` holds intermediate tensors kept on-chip (uid -> bytes); a
+    tensor leaves the pool when its last consumer has executed.  This is
+    the top "sequential execution with fully materialized intermediates"
+    level of the hierarchy: with enough SRAM, producer/consumer pairs far
+    apart in the order still avoid the DRAM round trip.
+    """
+
+    seconds: float
+    steps: List[ScheduledStep]
+    pool: Dict[int, int] = field(default_factory=dict)
+    resident_constants: Set[int] = field(default_factory=set)
+    resident_constant_bytes: int = 0
+    #: Boundary outputs whose write decision is deferred: a later step
+    #: within the stream window may stream them (temporal pipelining),
+    #: pool them, or finally spill them.  uid -> (bytes, age, producer
+    #: plan).
+    pending: Dict[int, Tuple[int, int, Optional[SpatialGroupPlan]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def pool_bytes(self) -> int:
+        return sum(self.pool.values())
+
+
+class Scheduler:
+    """Searches cross-operator dataflow schedules for one graph."""
+
+    def __init__(
+        self,
+        graph: OperatorGraph,
+        hw: HardwareConfig,
+        config: Optional[SchedulerConfig] = None,
+        n_split: Optional[Tuple[int, int]] = None,
+    ):
+        self.graph = graph
+        self.hw = hw
+        self.config = config or SchedulerConfig()
+        self.n_split = n_split
+        self._plan_cache: Dict[Tuple, SpatialGroupPlan] = {}
+        self.stats: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _plan_for(self, window: Tuple[Operator, ...]) -> SpatialGroupPlan:
+        """Plan construction, cached per window identity.
+
+        Cross-structure redundancy merging (the same KeySwitch subgraph
+        appearing many times) happens one level up: workloads expose
+        repeated segments that are scheduled once and multiplied — see
+        ``repro.workloads``.
+        """
+        key = tuple(op.uid for op in window)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = SpatialGroupPlan(self.graph, window, self.hw, self.n_split)
+            self._plan_cache[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def schedule(self) -> Schedule:
+        """Run the DP and return the best schedule found."""
+        t0 = _time.time()
+        order = self.graph.operators_topological()
+        n = len(order)
+        sram = self.hw.sram_capacity_bytes
+        keep_budget = int(sram * self.config.keep_fraction)
+        const_budget = int(sram * self.config.constant_residency_fraction)
+
+        # Liveness: the last topological position consuming each tensor,
+        # used to evict dead intermediates from the resident pool.
+        pos = {op.uid: idx for idx, op in enumerate(order)}
+        last_use: Dict[int, int] = {}
+        for op in order:
+            for t in op.inputs:
+                last_use[t.uid] = max(last_use.get(t.uid, -1), pos[op.uid])
+
+        dp: List[Optional[_DpState]] = [None] * (n + 1)
+        initial_pool: Dict[int, int] = {}
+        if self.config.chained_io:
+            # Segment inputs arrive on-chip from the previous segment of
+            # the surrounding program (budget allowing).
+            from repro.ir.tensors import TensorKind
+
+            used = 0
+            for t in self.graph.graph_inputs():
+                if t.kind is TensorKind.EXTERNAL and used + t.bytes <= keep_budget:
+                    initial_pool[t.uid] = t.bytes
+                    used += t.bytes
+        dp[0] = _DpState(seconds=0.0, steps=[], pool=initial_pool)
+        for i in range(n):
+            state = dp[i]
+            if state is None:
+                continue
+            for size in range(1, self.config.max_group_size + 1):
+                if i + size > n:
+                    break
+                window = tuple(order[i: i + size])
+                plan = self._plan_for(window)
+                if not plan.feasible_allocation:
+                    break
+                if not plan.fits_buffer:
+                    continue
+                step, new_state = self._transition(
+                    state, plan, keep_budget, const_budget,
+                    end_pos=i + size, last_use=last_use,
+                )
+                j = i + size
+                if dp[j] is None or new_state.seconds < dp[j].seconds:
+                    dp[j] = new_state
+        final = dp[n]
+        if final is None:
+            raise RuntimeError("scheduling failed: no feasible cover")
+        # Settle any still-deferred outputs (graph results must land in
+        # memory): charge their writes to the last step.  With chained
+        # segment I/O the outputs stay on-chip for the next segment.
+        if final.pending and final.steps and not self.config.chained_io:
+            spill = sum(nbytes for nbytes, _, _ in final.pending.values())
+            last = final.steps[-1]
+            last.metrics.dram_write_bytes += spill
+            last.seconds = max(
+                last.seconds,
+                last.metrics.dram_bytes
+                / (self.hw.dram_bytes_per_second * 0.85),
+            )
+        self.stats["search_seconds"] = _time.time() - t0
+        self.stats["plans_cached"] = len(self._plan_cache)
+        return Schedule(steps=final.steps)
+
+    def _consumed_uids(self, plan: SpatialGroupPlan) -> Set[int]:
+        uids = set()
+        for op in plan.ops:
+            for t in op.inputs:
+                uids.add(t.uid)
+        return uids
+
+    def _streamable(
+        self,
+        uid: int,
+        prev_plan: Optional[SpatialGroupPlan],
+        plan: SpatialGroupPlan,
+    ) -> bool:
+        """Can a deferred tensor stream from the previous group into this
+        one (matched top loops across the boundary, Section V-A)?"""
+        if prev_plan is None or not self.config.temporal_streaming:
+            return False
+        producer_op = None
+        for op in prev_plan.ops:
+            if any(t.uid == uid for t in op.outputs):
+                producer_op = op
+                break
+        if producer_op is None:
+            return False
+        from repro.ir.loops import matched_prefix
+
+        prod_nest = prev_plan.assignment.nest_of(producer_op)
+        for op in plan.ops:
+            if any(t.uid == uid for t in op.inputs):
+                cons_nest = plan.assignment.nest_of(op)
+                if matched_prefix(prod_nest, cons_nest) > 0:
+                    return True
+        return False
+
+    def _transition(
+        self,
+        state: _DpState,
+        plan: SpatialGroupPlan,
+        keep_budget: int,
+        const_budget: int,
+        end_pos: int,
+        last_use: Dict[int, int],
+    ) -> Tuple[ScheduledStep, _DpState]:
+        resident_constants = state.resident_constants
+        consumed = self._consumed_uids(plan)
+        window = max(self.config.stream_window, 1)
+        # Evolve the resident pool: evict tensors dead after this window.
+        new_pool = {
+            uid: nbytes
+            for uid, nbytes in state.pool.items()
+            if last_use.get(uid, -1) >= end_pos
+        }
+        pool_bytes = sum(new_pool.values())
+
+        # Settle deferred outputs: a tensor may wait up to the stream
+        # window (holding only its granule) for a consumer whose loops
+        # match, streaming through SRAM with no DRAM round trip — the
+        # depth of a temporal pipelining group.  Consumers that arrive
+        # with mismatched loops force the spill (their read was charged),
+        # and tensors that outlive the window are spilled too.
+        streamed: Set[int] = set()
+        spill_bytes = 0
+        new_pending: Dict[int, Tuple[int, int, Optional[SpatialGroupPlan]]] = {}
+        for uid, (nbytes, age, producer_plan) in state.pending.items():
+            live_later = last_use.get(uid, -1) >= end_pos
+            consumed_now = uid in consumed
+            if consumed_now and self._streamable(uid, producer_plan, plan):
+                streamed.add(uid)
+                if live_later:
+                    if pool_bytes + nbytes <= keep_budget:
+                        new_pool[uid] = nbytes
+                        pool_bytes += nbytes
+                    elif age + 1 < window:
+                        new_pending[uid] = (nbytes, age + 1, producer_plan)
+                    else:
+                        spill_bytes += nbytes
+                continue
+            if consumed_now:
+                # Unmatched consumer already charged its read: settle with
+                # the spill write unless the pool can absorb the tensor.
+                if pool_bytes + nbytes <= keep_budget:
+                    new_pool[uid] = nbytes
+                    pool_bytes += nbytes
+                else:
+                    spill_bytes += nbytes
+                continue
+            if pool_bytes + nbytes <= keep_budget and live_later:
+                new_pool[uid] = nbytes
+                pool_bytes += nbytes
+            elif age + 1 < window and live_later:
+                new_pending[uid] = (nbytes, age + 1, producer_plan)
+            else:
+                spill_bytes += nbytes
+
+        resident_inputs = set(new_pool) | streamed | set(state.pool)
+        # Outputs of this window: pool what fits, defer the rest.
+        _, outs = plan.boundary()
+        kept: Set[int] = set()
+        for t in outs:
+            if last_use.get(t.uid, -1) < end_pos:
+                new_pending[t.uid] = (t.bytes, 0, plan)  # graph output
+                kept.add(t.uid)  # defer the write
+                continue
+            if pool_bytes + t.bytes <= keep_budget:
+                new_pool[t.uid] = t.bytes
+                pool_bytes += t.bytes
+                kept.add(t.uid)
+            else:
+                new_pending[t.uid] = (t.bytes, 0, plan)
+                kept.add(t.uid)  # defer; a later transition settles it
+        pending = new_pending
+        seconds, metrics = plan.execution_seconds(
+            resident_inputs=resident_inputs,
+            resident_constants=resident_constants,
+            kept_outputs=kept,
+            constant_share=self.config.constant_share,
+            extra_write_bytes=spill_bytes,
+        )
+        step = ScheduledStep(
+            plan=plan,
+            seconds=seconds,
+            metrics=metrics,
+            resident_inputs=resident_inputs,
+            resident_constants=set(resident_constants),
+            kept_outputs=kept,
+        )
+        # Update the resident-constant pool (kept while the budget holds).
+        new_consts = set(state.resident_constants)
+        new_const_bytes = state.resident_constant_bytes
+        for uid, nbytes in plan.metrics.constant_bytes.items():
+            if uid not in new_consts and new_const_bytes + nbytes <= const_budget:
+                new_consts.add(uid)
+                new_const_bytes += nbytes
+        new_state = _DpState(
+            seconds=state.seconds + seconds,
+            steps=state.steps + [step],
+            pool=new_pool,
+            resident_constants=new_consts,
+            resident_constant_bytes=new_const_bytes,
+            pending=pending,
+        )
+        return step, new_state
+
+
+def schedule_graph(
+    graph: OperatorGraph,
+    hw: HardwareConfig,
+    config: Optional[SchedulerConfig] = None,
+    candidate_splits: Optional[Sequence[Optional[Tuple[int, int]]]] = None,
+) -> Schedule:
+    """Schedule a graph, trying each candidate NTT split and keeping the
+    fastest result (the scheduler-level half of Section V-B)."""
+    if candidate_splits is None:
+        candidate_splits = [None]
+    best: Optional[Schedule] = None
+    for split in candidate_splits:
+        sched = Scheduler(graph, hw, config, n_split=split).schedule()
+        if best is None or sched.total_seconds < best.total_seconds:
+            best = sched
+    assert best is not None
+    return best
+
+
+def schedule_partitioned(
+    graph: OperatorGraph,
+    hw: HardwareConfig,
+    config: Optional[SchedulerConfig] = None,
+    n_split: Optional[Tuple[int, int]] = None,
+    segment_limit: int = 25,
+) -> Schedule:
+    """Schedule a large graph via pre-partitioning with merging.
+
+    The paper's path for ResNet-scale graphs (Section V-D): partition
+    into acyclic segments of at most ``segment_limit`` operators, search
+    each *distinct* segment structure once, and reuse the result for its
+    structural twins — the twins share the representative's scheduled
+    steps, whose costs are identical by construction of the signature.
+    """
+    from repro.sched.partition import merge_redundant, partition_graph
+
+    partitions = partition_graph(graph, limit=segment_limit)
+    groups = merge_redundant(partitions)
+    searched: Dict[Tuple, Schedule] = {}
+    combined = Schedule(steps=[])
+    for part in partitions:
+        cached = searched.get(part.signature)
+        if cached is None:
+            sub = OperatorGraph(f"{graph.name}.part{part.index}")
+            for op in part.ops:
+                sub.add_operator(op)
+            cached = Scheduler(sub, hw, config, n_split=n_split).schedule()
+            searched[part.signature] = cached
+        combined.steps.extend(cached.steps)
+    return combined
+
+
+def default_ntt_splits(
+    n: int, min_tile: int = 64
+) -> List[Tuple[int, int]]:
+    """Candidate four-step splits near sqrt(N) (tiles must fill lanes)."""
+    out = []
+    for n1, n2 in power_of_two_splits(n, min_tile=min_tile):
+        if n2 < min_tile:
+            continue
+        # Stay within 4x of square to bound the candidate count.
+        if max(n1, n2) // min(n1, n2) <= 4:
+            out.append((n1, n2))
+    return out

@@ -1,0 +1,238 @@
+"""The group-level event simulator.
+
+For each scheduled step the engine derives per-resource busy times:
+
+* **PEs** — every operator occupies its allocated PEs for its pipelined
+  cycle count; PE busy time integrates (pes x cycles) over operators.
+* **NoC** — matched producer->consumer edges ship their tensor over the
+  mesh; the busy time scales with bytes x hops over total link capacity
+  (the mapping provides real hop counts; without one, an average-hop
+  estimate is used).
+* **SRAM / DRAM / transpose** — queue the step's effective byte counts
+  on the respective bandwidths.
+
+The step's duration is the slowest resource (operators stream in a fine
+-grained pipeline, so resources overlap within a step), plus a
+synchronous group-switch barrier (Section IV-A).  Utilization =
+integrated busy time / (duration x capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import HbmMemory, SramBuffer
+from repro.hw.noc import MeshNoc
+from repro.hw.pe import operator_cycles
+from repro.hw.transpose import TransposeUnit
+from repro.ir.operators import OpKind
+from repro.sched.dataflow import Schedule, ScheduledStep
+from repro.sched.mapper import GroupMapping, map_group
+from repro.sim.stats import TrafficReport, UtilizationReport
+from repro.sim.trace import EventKind, TraceEvent
+
+#: Synchronous group-switch overhead (drain + reconfigure), in cycles.
+BARRIER_CYCLES = 200
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one schedule."""
+
+    total_seconds: float
+    utilization: UtilizationReport
+    traffic: TrafficReport
+    num_groups: int
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+
+class SimulationEngine:
+    """Simulates a schedule on a hardware configuration."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        collect_trace: bool = False,
+        residency_fraction: float = 0.5,
+        constant_share: int = 1,
+    ):
+        self.config = config
+        self.collect_trace = collect_trace
+        self.residency_fraction = residency_fraction
+        self.constant_share = constant_share
+        self._noc = MeshNoc.for_config(config)
+        self._hbm = HbmMemory.for_config(config)
+        self._sram = SramBuffer.for_config(config)
+        self._tpu = TransposeUnit.for_config(config)
+
+    def run(self, schedule: Schedule) -> SimResult:
+        """Simulate a schedule and return time/utilization/traffic."""
+        cfg = self.config
+        freq = cfg.frequency_ghz * 1e9
+        total_seconds = 0.0
+        busy = {
+            "pe": 0.0, "noc": 0.0, "sram": 0.0, "dram": 0.0, "tpu": 0.0
+        }
+        traffic = TrafficReport()
+        events: List[TraceEvent] = []
+
+        # Steady-state constant residency across repeats: constants that
+        # fit the residency pool stay on-chip after the first (cold)
+        # iteration, so warm iterations skip those DRAM fetches.  This is
+        # the same key-reuse window every evaluated design gets.
+        warm_residents = self._steady_state_constants(schedule)
+
+        for warm in (False, True) if schedule.repeat > 1 else (False,):
+            pass_seconds = 0.0
+            pass_busy = {k: 0.0 for k in busy}
+            pass_traffic = TrafficReport()
+            for gi, step in enumerate(schedule.steps):
+                mapping = map_group(step.plan)
+                duration, step_busy, m = self._simulate_step(
+                    gi, step, mapping, events,
+                    extra_resident=warm_residents if warm else frozenset(),
+                )
+                pass_seconds += duration + BARRIER_CYCLES / freq
+                for k in pass_busy:
+                    pass_busy[k] += step_busy[k]
+                pass_traffic.dram_read_bytes += m.dram_read_bytes
+                pass_traffic.dram_write_bytes += m.dram_write_bytes
+                pass_traffic.sram_bytes += m.sram_bytes
+                pass_traffic.noc_bytes += m.noc_bytes
+                pass_traffic.transpose_bytes += m.transpose_bytes
+                if self.collect_trace and not warm:
+                    events.append(
+                        TraceEvent(EventKind.BARRIER, gi, "group-switch",
+                                   cycles=BARRIER_CYCLES)
+                    )
+            weight = 1 if not warm else schedule.repeat - 1
+            total_seconds += pass_seconds * weight
+            for k in busy:
+                busy[k] += pass_busy[k] * weight
+            for attr in ("dram_read_bytes", "dram_write_bytes",
+                         "sram_bytes", "noc_bytes", "transpose_bytes"):
+                setattr(
+                    traffic,
+                    attr,
+                    getattr(traffic, attr) + getattr(pass_traffic, attr) * weight,
+                )
+
+        # Every busy figure is already in (resource-saturated) seconds, so
+        # utilization is busy time over wall-clock time.
+        def _util(key: str) -> float:
+            return min(1.0, busy[key] / total_seconds) if total_seconds else 0.0
+
+        util = UtilizationReport(
+            pe=_util("pe"),
+            noc=_util("noc"),
+            sram_bw=_util("sram"),
+            dram_bw=_util("dram"),
+            transpose=_util("tpu"),
+        )
+        return SimResult(
+            total_seconds=total_seconds,
+            utilization=util,
+            traffic=traffic,
+            num_groups=schedule.num_groups,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _steady_state_constants(self, schedule: Schedule) -> frozenset:
+        """Constants kept resident across repeat iterations.
+
+        Greedy largest-first packing into the residency pool (half the
+        SRAM): big evks save the most DRAM traffic per resident byte of
+        identical reuse frequency.
+        """
+        budget = int(self.config.sram_capacity_bytes * self.residency_fraction)
+        sizes: Dict[int, int] = {}
+        for step in schedule.steps:
+            for uid, nbytes in step.metrics.constant_bytes.items():
+                sizes[uid] = nbytes
+        kept = set()
+        used = 0
+        for uid, nbytes in sorted(sizes.items(), key=lambda kv: -kv[1]):
+            if used + nbytes <= budget:
+                kept.add(uid)
+                used += nbytes
+        return frozenset(kept)
+
+    def _simulate_step(
+        self,
+        group_index: int,
+        step: ScheduledStep,
+        mapping: GroupMapping,
+        events: List[TraceEvent],
+        extra_resident: frozenset = frozenset(),
+    ) -> tuple:
+        cfg = self.config
+        freq = cfg.frequency_ghz * 1e9
+        plan = step.plan
+        if extra_resident:
+            _, m = plan.execution_seconds(
+                resident_inputs=step.resident_inputs,
+                resident_constants=set(step.resident_constants)
+                | set(extra_resident),
+                kept_outputs=step.kept_outputs,
+                constant_share=self.constant_share,
+            )
+        else:
+            m = step.metrics
+
+        # PE pipeline: the slowest stage sets the pace.  PE busy time is
+        # work-based (useful lane-cycles / lane capacity) so the reported
+        # utilization directly reflects idle logic — specialized units on
+        # baselines and under-allocated PEs on CROPHE alike.
+        useful_lane_cycles = 0
+        worst_stage = step.metrics.compute_cycles
+        for op in plan.ops:
+            if op.kind is OpKind.TRANSPOSE:
+                continue
+            useful_lane_cycles += op.total_work
+            if self.collect_trace:
+                pes = plan.pe_allocation.get(op.uid, 1)
+                cyc = operator_cycles(op, pes, cfg.lanes_per_pe)
+                placement = mapping.placements.get(op.uid)
+                events.append(
+                    TraceEvent(
+                        EventKind.OP_EXECUTE, group_index, op.name,
+                        cycles=cyc,
+                        pes=placement.pes if placement else (),
+                    )
+                )
+        compute_seconds = worst_stage / freq
+
+        # NoC: bytes x hops over aggregate link capacity.  Baselines get
+        # an idealized NoC, exactly as the paper does when reproducing
+        # them ("for simplicity we assume idealized NoC performance").
+        if cfg.fu_mix is not None:
+            noc_seconds = 0.0
+        else:
+            avg_hops = max(mapping.average_hops(), 1.0)
+            link_bytes_per_s = self._noc.aggregate_bytes_per_cycle() * freq
+            noc_seconds = m.noc_bytes * avg_hops / link_bytes_per_s
+        # Memory queues.
+        dram_seconds = self._hbm.access_seconds(m.dram_bytes)
+        sram_seconds = self._sram.access_seconds(m.sram_bytes)
+        tpu_seconds = self._tpu.transpose_seconds(m.transpose_bytes)
+
+        duration = max(
+            compute_seconds, noc_seconds, dram_seconds, sram_seconds,
+            tpu_seconds,
+        )
+        busy = {
+            "pe": useful_lane_cycles / (cfg.total_lanes * freq),
+            "noc": noc_seconds,
+            "sram": m.sram_bytes / cfg.sram_bytes_per_second,
+            "dram": m.dram_bytes / cfg.dram_bytes_per_second,
+            "tpu": m.transpose_bytes / self._tpu.bytes_per_second,
+        }
+        return duration, busy, m

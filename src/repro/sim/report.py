@@ -1,0 +1,93 @@
+"""Human-readable reports over schedules and simulation results.
+
+Pretty-printers used by the examples and the experiment runner: a group
+table (operators, PE allocation, buffer, bottleneck), a traffic summary,
+and a side-by-side comparison of two runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import HbmMemory, SramBuffer
+from repro.sched.dataflow import Schedule, ScheduledStep
+from repro.sim.engine import SimResult
+
+
+def _bottleneck(step: ScheduledStep, hw: HardwareConfig) -> str:
+    """Name the resource that paces a step."""
+    m = step.metrics
+    freq = hw.frequency_ghz * 1e9
+    candidates = {
+        "compute": m.compute_cycles / freq,
+        "dram": HbmMemory.for_config(hw).access_seconds(m.dram_bytes),
+        "sram": SramBuffer.for_config(hw).access_seconds(m.sram_bytes),
+    }
+    return max(candidates, key=candidates.get)
+
+
+def schedule_table(
+    schedule: Schedule,
+    hw: HardwareConfig,
+    max_rows: int = 20,
+) -> str:
+    """One row per scheduled group."""
+    lines = [
+        f"{'#':>4s} {'ops':>4s} {'operators':40s} {'buf MB':>8s}"
+        f" {'us':>9s} {'bound':>8s}"
+    ]
+    for i, step in enumerate(schedule.steps[:max_rows]):
+        kinds = ",".join(op.kind.value for op in step.plan.ops)
+        if len(kinds) > 38:
+            kinds = kinds[:35] + "..."
+        lines.append(
+            f"{i:4d} {len(step.plan.ops):4d} {kinds:40s}"
+            f" {step.plan.metrics.buffer_bytes / 2**20:8.2f}"
+            f" {step.seconds * 1e6:9.2f} {_bottleneck(step, hw):>8s}"
+        )
+    if len(schedule.steps) > max_rows:
+        lines.append(f"  ... {len(schedule.steps) - max_rows} more groups")
+    return "\n".join(lines)
+
+
+def simulation_summary(result: SimResult, label: str = "run") -> str:
+    """Traffic + utilization one-pager."""
+    t = result.traffic
+    u = result.utilization
+    lines = [
+        f"=== {label} ===",
+        f"  time          : {result.total_ms:10.3f} ms"
+        f"  ({result.num_groups} groups)",
+        f"  DRAM traffic  : {t.dram_bytes / 2**30:10.3f} GB"
+        f"  (rd {t.dram_read_bytes / 2**30:.2f} / wr"
+        f" {t.dram_write_bytes / 2**30:.2f})",
+        f"  SRAM traffic  : {t.sram_bytes / 2**30:10.3f} GB",
+        f"  NoC traffic   : {t.noc_bytes / 2**30:10.3f} GB",
+        "  utilization   : "
+        + "  ".join(f"{k}={v:.0%}" for k, v in u.as_dict().items()),
+    ]
+    return "\n".join(lines)
+
+
+def comparison_table(
+    results: Sequence[SimResult], labels: Sequence[str]
+) -> str:
+    """Side-by-side comparison, first result as the reference."""
+    if len(results) != len(labels):
+        raise ValueError("one label per result required")
+    if not results:
+        return "(no results)"
+    ref = results[0].total_seconds
+    lines = [
+        f"{'design':20s}{'ms':>10s}{'speedup':>9s}{'DRAM GB':>9s}"
+        f"{'PE util':>9s}"
+    ]
+    for result, label in zip(results, labels):
+        lines.append(
+            f"{label:20s}{result.total_ms:10.3f}"
+            f"{ref / result.total_seconds:8.2f}x"
+            f"{result.traffic.dram_bytes / 2**30:9.2f}"
+            f"{result.utilization.pe:8.1%}"
+        )
+    return "\n".join(lines)

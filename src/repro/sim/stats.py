@@ -1,0 +1,50 @@
+"""Utilization and traffic statistics (Table IV / Figure 11 inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class UtilizationReport:
+    """Resource busy-time fractions over a simulated execution."""
+
+    pe: float = 0.0
+    noc: float = 0.0
+    sram_bw: float = 0.0
+    dram_bw: float = 0.0
+    transpose: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Display-label view of the utilization fields."""
+        return {
+            "PEs": self.pe,
+            "NoC b/w": self.noc,
+            "SRAM b/w": self.sram_bw,
+            "DRAM b/w": self.dram_bw,
+            "transpose": self.transpose,
+        }
+
+
+@dataclass
+class TrafficReport:
+    """Byte totals per memory level."""
+
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    sram_bytes: int = 0
+    noc_bytes: int = 0
+    transpose_bytes: int = 0
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def add(self, other: "TrafficReport") -> None:
+        """Accumulate another report into this one."""
+        self.dram_read_bytes += other.dram_read_bytes
+        self.dram_write_bytes += other.dram_write_bytes
+        self.sram_bytes += other.sram_bytes
+        self.noc_bytes += other.noc_bytes
+        self.transpose_bytes += other.transpose_bytes

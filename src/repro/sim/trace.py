@@ -1,0 +1,60 @@
+"""Execution trace records.
+
+The mapper's output drives the simulator through these records; they are
+also serializable for offline inspection (the paper's "trace files").
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    OP_EXECUTE = "op"
+    NOC_TRANSFER = "noc"
+    DRAM_READ = "dram_rd"
+    DRAM_WRITE = "dram_wr"
+    SRAM_ACCESS = "sram"
+    TRANSPOSE = "transpose"
+    BARRIER = "barrier"
+
+
+@dataclass
+class TraceEvent:
+    """One simulated event: what, where, and how much."""
+
+    kind: EventKind
+    group: int
+    name: str
+    bytes: int = 0
+    cycles: int = 0
+    pes: Tuple[int, ...] = ()
+    hops: int = 0
+
+    def to_json(self) -> str:
+        """One-line JSON rendering of the event."""
+        d = asdict(self)
+        d["kind"] = self.kind.value
+        return json.dumps(d)
+
+
+def dump_trace(events: Iterable[TraceEvent], path: str) -> None:
+    """Write a trace as JSON lines."""
+    with open(path, "w") as f:
+        for e in events:
+            f.write(e.to_json() + "\n")
+
+
+def load_trace(path: str) -> List[TraceEvent]:
+    """Read a JSON-lines trace written by :func:`dump_trace`."""
+    out = []
+    with open(path) as f:
+        for line in f:
+            d = json.loads(line)
+            d["kind"] = EventKind(d["kind"])
+            d["pes"] = tuple(d["pes"])
+            out.append(TraceEvent(**d))
+    return out

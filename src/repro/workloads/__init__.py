@@ -1,0 +1,32 @@
+"""Workload operator-graph generators.
+
+The four evaluation workloads of Section VI: CKKS bootstrapping,
+HELR-1024 logistic-regression training, and ResNet-20/ResNet-110
+encrypted inference.  A workload is a list of *segments* — operator
+graphs scheduled once and repeated — which realizes the paper's
+pre-partitioning with redundant-subgraph merging: the same KeySwitch /
+BSGS / EvalMod structure appearing many times is searched only once.
+"""
+
+from repro.workloads.base import Workload, WorkloadSegment, WorkloadOptions
+from repro.workloads.bootstrapping import build_bootstrapping
+from repro.workloads.helr import build_helr
+from repro.workloads.resnet import build_resnet20, build_resnet110
+
+WORKLOAD_BUILDERS = {
+    "bootstrapping": build_bootstrapping,
+    "helr": build_helr,
+    "resnet20": build_resnet20,
+    "resnet110": build_resnet110,
+}
+
+__all__ = [
+    "Workload",
+    "WorkloadSegment",
+    "WorkloadOptions",
+    "build_bootstrapping",
+    "build_helr",
+    "build_resnet20",
+    "build_resnet110",
+    "WORKLOAD_BUILDERS",
+]

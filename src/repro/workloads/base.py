@@ -1,0 +1,66 @@
+"""Workload containers and build options."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.fhe.params import CKKSParams
+from repro.ir.graph import OperatorGraph
+
+
+@dataclass(frozen=True)
+class WorkloadOptions:
+    """Dataflow-relevant build options.
+
+    Attributes:
+        ntt_split: four-step split applied to every (i)NTT, or ``None``
+            for monolithic NTTs (the NTTDec ablation knob).
+        rotation_strategy: baby-step strategy ("min-ks" / "hoisting" /
+            "hybrid") — the HybRot ablation knob.
+        r_hyb: hybrid coarse-step distance (the Section V-C parameter;
+            the experiment driver enumerates a few values and keeps the
+            fastest, mirroring the per-graph enumeration of Section V-D).
+    """
+
+    ntt_split: Optional[Tuple[int, int]] = None
+    rotation_strategy: str = "hybrid"
+    r_hyb: int = 4
+
+
+@dataclass
+class WorkloadSegment:
+    """A distinct subgraph scheduled once and executed ``repeat`` times."""
+
+    name: str
+    graph: OperatorGraph
+    repeat: int = 1
+
+    @property
+    def num_operators(self) -> int:
+        return self.graph.num_operators
+
+
+@dataclass
+class Workload:
+    """A full benchmark: named segments with repeat counts."""
+
+    name: str
+    params: CKKSParams
+    segments: List[WorkloadSegment] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def total_operators(self) -> int:
+        return sum(s.num_operators * s.repeat for s in self.segments)
+
+    @property
+    def distinct_operators(self) -> int:
+        return sum(s.num_operators for s in self.segments)
+
+    def segment(self, name: str) -> WorkloadSegment:
+        """Look up a segment by name."""
+        for s in self.segments:
+            if s.name == name:
+                return s
+        raise KeyError(f"no segment {name!r} in workload {self.name}")

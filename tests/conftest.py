@@ -1,0 +1,37 @@
+"""Shared fixtures: small concrete CKKS contexts reused across tests."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.context import CKKSContext
+from repro.fhe.params import make_concrete_params
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """Tiny parameter set: N=64, 4 levels, alpha=2."""
+    return make_concrete_params(log_n=6, max_level=3, alpha=2)
+
+
+@pytest.fixture(scope="session")
+def small_ctx(small_params):
+    return CKKSContext(small_params, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def bsgs_ctx():
+    """Context sized for BSGS/rotation tests: N=32 (16 slots), 4 levels."""
+    params = make_concrete_params(log_n=5, max_level=3, alpha=2)
+    return CKKSContext(params, seed=777)
+
+
+@pytest.fixture(scope="session")
+def boot_ctx():
+    """Deep context for bootstrapping: N=32, 21 levels, sparse key."""
+    params = make_concrete_params(log_n=5, max_level=21, alpha=4, scale_bits=20)
+    return CKKSContext(params, seed=11, hamming_weight=8)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

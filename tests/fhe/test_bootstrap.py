@@ -1,0 +1,153 @@
+"""Tests for bootstrapping: ModRaise, CoeffToSlot/SlotToCoeff, EvalMod."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import ops
+from repro.fhe.bootstrap import (
+    BootstrapConfig,
+    bootstrap,
+    coeff_to_slot,
+    coeff_to_slot_matrices,
+    eval_mod_real,
+    mod_raise,
+    slot_to_coeff,
+    slot_to_coeff_matrices,
+)
+
+
+class TestMatrices:
+    def test_c2s_then_s2c_is_identity(self):
+        """(D, F) invert (B, C) as an R-linear map on coefficients."""
+        n = 32
+        m = n // 2
+        b, c = coeff_to_slot_matrices(n)
+        d, f = slot_to_coeff_matrices(n)
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=n)
+        # Forward: z = canonical embedding of t.
+        from repro.fhe.encoding import decode
+
+        z = decode(t, n, 1.0)
+        w = b @ z + c @ np.conj(z)
+        assert np.allclose(w.real, t[:m], atol=1e-9)
+        assert np.allclose(w.imag, t[m:], atol=1e-9)
+        z_back = d @ w + f @ np.conj(w)
+        assert np.allclose(z_back, z, atol=1e-8)
+
+
+class TestModRaise:
+    def test_raised_decrypts_to_m_plus_q0_i(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        ct0 = ops.level_down(boot_ctx.encrypt(boot_ctx.encode(v)), 0)
+        raised = mod_raise(boot_ctx, ct0, boot_ctx.params.max_level)
+        assert raised.level == boot_ctx.params.max_level
+        t = np.array(
+            boot_ctx.decrypt(raised).poly.to_coeff().to_integers(), dtype=float
+        )
+        q0 = boot_ctx.params.moduli[0]
+        m = np.mod(t + q0 / 2, q0) - q0 / 2  # t mod q0, centered
+        # The centered residue must encode the original message.
+        from repro.fhe.encoding import decode
+
+        back = decode(m, boot_ctx.params.n, raised.scale, n)
+        assert np.max(np.abs(back - v)) < 1e-3
+        # And the overflow I must be small (sparse key).
+        i_poly = (t - m) / q0
+        assert np.max(np.abs(i_poly)) <= boot_ctx.hamming_weight / 2 + 1
+
+    def test_rejects_nonzero_level(self, boot_ctx, rng):
+        ct = boot_ctx.encrypt(boot_ctx.encode([0.5], level=2))
+        with pytest.raises(ValueError):
+            mod_raise(boot_ctx, ct, 5)
+
+
+class TestTransforms:
+    def test_c2s_s2c_round_trip(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        ct = boot_ctx.encrypt(boot_ctx.encode(v))
+        back = slot_to_coeff(boot_ctx, coeff_to_slot(boot_ctx, ct))
+        dec = boot_ctx.decrypt_decode(back, n)
+        assert np.max(np.abs(dec - v)) < 5e-3
+
+    def test_c2s_packs_coefficients(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        ct = boot_ctx.encrypt(boot_ctx.encode(v))
+        packed = coeff_to_slot(boot_ctx, ct)
+        coeffs = np.array(
+            boot_ctx.decrypt(ct).poly.to_coeff().to_integers(), dtype=float
+        )
+        got = boot_ctx.decrypt_decode(packed, n) * packed.scale
+        want = coeffs[:n] + 1j * coeffs[n:]
+        rel = np.max(np.abs(got - want)) / np.max(np.abs(want))
+        assert rel < 1e-2
+
+
+class TestEvalMod:
+    def test_reduces_modulo_q0(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        q0 = boot_ctx.params.moduli[0]
+        scale = float(2 ** 20)
+        m = rng.uniform(-0.2, 0.2, n) * scale
+        i_part = rng.integers(-2, 3, n)
+        u = (m + q0 * i_part) / scale
+        ct = boot_ctx.encrypt(boot_ctx.encode(u, scale=scale))
+        out = eval_mod_real(boot_ctx, ct, q0 / scale, BootstrapConfig())
+        got = boot_ctx.decrypt_decode(out, n).real
+        assert np.max(np.abs(got - m / scale)) < 5e-3
+
+    def test_identity_when_no_overflow(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        q0 = boot_ctx.params.moduli[0]
+        scale = float(2 ** 20)
+        u = rng.uniform(-0.1, 0.1, n)
+        ct = boot_ctx.encrypt(boot_ctx.encode(u, scale=scale))
+        out = eval_mod_real(boot_ctx, ct, q0 / scale, BootstrapConfig())
+        got = boot_ctx.decrypt_decode(out, n).real
+        assert np.max(np.abs(got - u)) < 5e-3
+
+
+class TestBootstrap:
+    def test_end_to_end(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        ct0 = ops.level_down(boot_ctx.encrypt(boot_ctx.encode(v)), 0)
+        refreshed = bootstrap(boot_ctx, ct0)
+        assert refreshed.level >= 1
+        dec = boot_ctx.decrypt_decode(refreshed, n)
+        assert np.max(np.abs(dec - v)) < 2e-2
+
+    def test_refreshed_ciphertext_is_usable(self, boot_ctx, rng):
+        """The bootstrap output supports further homomorphic ops."""
+        n = boot_ctx.params.slots
+        v = rng.uniform(-0.5, 0.5, n)
+        ct0 = ops.level_down(boot_ctx.encrypt(boot_ctx.encode(v)), 0)
+        refreshed = bootstrap(boot_ctx, ct0)
+        doubled = ops.add(refreshed, refreshed)
+        dec = boot_ctx.decrypt_decode(doubled, n)
+        assert np.max(np.abs(dec - 2 * v)) < 4e-2
+
+    def test_rejects_high_level_input(self, boot_ctx, rng):
+        ct = boot_ctx.encrypt(boot_ctx.encode([0.5]))
+        with pytest.raises(ValueError):
+            bootstrap(boot_ctx, ct)
+
+    def test_rejects_insufficient_levels(self, small_ctx, rng):
+        ct = ops.level_down(small_ctx.encrypt(small_ctx.encode([0.5])), 0)
+        with pytest.raises(ValueError):
+            bootstrap(small_ctx, ct)
+
+    def test_target_level(self, boot_ctx, rng):
+        n = boot_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        ct0 = ops.level_down(boot_ctx.encrypt(boot_ctx.encode(v)), 0)
+        refreshed = bootstrap(boot_ctx, ct0, BootstrapConfig(target_level=1))
+        assert refreshed.level == 1
+
+    def test_config_level_accounting(self):
+        cfg = BootstrapConfig(taylor_degree=7, double_angles=7)
+        assert cfg.evalmod_levels == 16
+        assert cfg.total_levels == 20

@@ -1,0 +1,98 @@
+"""Tests for BSGS plaintext matrix-vector multiplication (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.bsgs import matrix_diagonal, pt_mat_vec_mult, split_bsgs
+
+TOL = 5e-3
+
+
+class TestDiagonals:
+    def test_main_diagonal(self):
+        m = np.arange(16).reshape(4, 4)
+        assert np.array_equal(matrix_diagonal(m, 0), [0, 5, 10, 15])
+
+    def test_wrapped_diagonal(self):
+        m = np.arange(16).reshape(4, 4)
+        assert np.array_equal(matrix_diagonal(m, 1), [1, 6, 11, 12])
+
+    def test_diagonals_tile_matrix(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(8, 8))
+        total = sum(matrix_diagonal(m, k).sum() for k in range(8))
+        assert np.isclose(total, m.sum())
+
+
+class TestSplit:
+    @pytest.mark.parametrize("n,expected", [(16, (4, 4)), (64, (8, 8)), (32, (4, 8))])
+    def test_square_split(self, n, expected):
+        assert split_bsgs(n) == expected
+
+    def test_split_multiplies_back(self):
+        for n in (4, 8, 16, 64, 256):
+            n1, n2 = split_bsgs(n)
+            assert n1 * n2 == n
+
+
+class TestMatVec:
+    @pytest.mark.parametrize("strategy", ["min-ks", "hoisting", "hybrid"])
+    def test_correct_all_strategies(self, bsgs_ctx, rng, strategy):
+        n = bsgs_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        m = rng.normal(size=(n, n)) / np.sqrt(n)
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(v))
+        out = pt_mat_vec_mult(bsgs_ctx, ct, m, rotation_strategy=strategy)
+        back = bsgs_ctx.decrypt_decode(out, n)
+        assert np.max(np.abs(back - m @ v)) < TOL
+
+    def test_complex_matrix(self, bsgs_ctx, rng):
+        n = bsgs_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        m = (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))) / np.sqrt(n)
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(v))
+        out = pt_mat_vec_mult(bsgs_ctx, ct, m)
+        back = bsgs_ctx.decrypt_decode(out, n)
+        assert np.max(np.abs(back - m @ v)) < TOL
+
+    def test_identity_matrix(self, bsgs_ctx, rng):
+        n = bsgs_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(v))
+        out = pt_mat_vec_mult(bsgs_ctx, ct, np.eye(n))
+        back = bsgs_ctx.decrypt_decode(out, n)
+        assert np.max(np.abs(back - v)) < TOL
+
+    def test_consumes_one_level(self, bsgs_ctx, rng):
+        n = bsgs_ctx.params.slots
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(rng.uniform(-1, 1, n)))
+        out = pt_mat_vec_mult(bsgs_ctx, ct, np.eye(n))
+        assert out.level == ct.level - 1
+
+    @pytest.mark.parametrize("n1", [1, 2, 4, 8, 16])
+    def test_all_n1_splits(self, bsgs_ctx, rng, n1):
+        n = bsgs_ctx.params.slots
+        v = rng.uniform(-1, 1, n)
+        m = rng.normal(size=(n, n)) / np.sqrt(n)
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(v))
+        out = pt_mat_vec_mult(bsgs_ctx, ct, m, n1=n1)
+        back = bsgs_ctx.decrypt_decode(out, n)
+        assert np.max(np.abs(back - m @ v)) < TOL
+
+    def test_wrong_matrix_shape_raises(self, bsgs_ctx, rng):
+        n = bsgs_ctx.params.slots
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(rng.uniform(-1, 1, n)))
+        with pytest.raises(ValueError):
+            pt_mat_vec_mult(bsgs_ctx, ct, np.eye(n - 1))
+
+    def test_bad_n1_raises(self, bsgs_ctx, rng):
+        n = bsgs_ctx.params.slots
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(rng.uniform(-1, 1, n)))
+        with pytest.raises(ValueError):
+            pt_mat_vec_mult(bsgs_ctx, ct, np.eye(n), n1=3)
+
+    def test_unknown_strategy_raises(self, bsgs_ctx, rng):
+        n = bsgs_ctx.params.slots
+        ct = bsgs_ctx.encrypt(bsgs_ctx.encode(rng.uniform(-1, 1, n)))
+        with pytest.raises(ValueError):
+            pt_mat_vec_mult(bsgs_ctx, ct, np.eye(n), rotation_strategy="magic")

@@ -1,0 +1,95 @@
+"""Tests for canonical-embedding encoding/decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.encoding import (
+    conjugation_galois_element,
+    decode,
+    encode,
+    rotation_galois_element,
+)
+
+N = 64
+SCALE = 2.0 ** 26
+
+
+class TestRoundTrip:
+    def test_real_vector(self, rng):
+        v = rng.uniform(-2, 2, N // 2)
+        back = decode(encode(v, N, SCALE), N, SCALE)
+        assert np.max(np.abs(back - v)) < 1e-4
+
+    def test_complex_vector(self, rng):
+        v = rng.uniform(-1, 1, N // 2) + 1j * rng.uniform(-1, 1, N // 2)
+        back = decode(encode(v, N, SCALE), N, SCALE)
+        assert np.max(np.abs(back - v)) < 1e-4
+
+    def test_short_vector_pads(self):
+        back = decode(encode([1.0, 2.0], N, SCALE), N, SCALE, num_slots=4)
+        assert np.allclose(back[:2], [1, 2], atol=1e-4)
+        assert np.allclose(back[2:], 0, atol=1e-4)
+
+    def test_too_many_slots_raises(self):
+        with pytest.raises(ValueError):
+            encode([0.0] * (N // 2 + 1), N, SCALE)
+
+    def test_coefficients_are_integers(self):
+        coeffs = encode([0.5] * (N // 2), N, SCALE)
+        assert coeffs.dtype == np.int64
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                    min_size=1, max_size=N // 2))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, values):
+        back = decode(encode(values, N, SCALE), N, SCALE, len(values))
+        assert np.max(np.abs(back - np.asarray(values))) < 1e-3
+
+
+class TestAlgebra:
+    def test_encoding_is_additive(self, rng):
+        a = rng.uniform(-1, 1, N // 2)
+        b = rng.uniform(-1, 1, N // 2)
+        summed = decode(encode(a, N, SCALE) + encode(b, N, SCALE), N, SCALE)
+        assert np.max(np.abs(summed - (a + b))) < 1e-4
+
+    def test_rotation_galois_element(self):
+        assert rotation_galois_element(N, 0) == 1
+        assert rotation_galois_element(N, 1) == 5
+        # Rotations compose mod the slot count.
+        r_full = rotation_galois_element(N, N // 2)
+        assert r_full == 1
+
+    def test_conjugation_element(self):
+        assert conjugation_galois_element(N) == 2 * N - 1
+
+    def test_galois_rotation_rotates_slots(self, rng):
+        """decode(sigma_{5^r}(encode(v))) == roll(v, -r)."""
+        from repro.fhe.ntt import galois_coeff
+        from repro.fhe.params import ntt_friendly_primes
+
+        v = rng.uniform(-1, 1, N // 2)
+        coeffs = encode(v, N, SCALE)
+        r = 3
+        t = rotation_galois_element(N, r)
+        # Work over a big prime so the permutation is exact on ints.
+        (q,) = ntt_friendly_primes(N, 28, 1)
+        rotated = galois_coeff(np.mod(coeffs, q), t, q)
+        # Recenter.
+        rotated = np.where(rotated > q // 2, rotated - q, rotated)
+        back = decode(rotated, N, SCALE)
+        assert np.max(np.abs(back - np.roll(v, -r))) < 1e-3
+
+    def test_galois_conjugation_conjugates_slots(self, rng):
+        from repro.fhe.ntt import galois_coeff
+        from repro.fhe.params import ntt_friendly_primes
+
+        v = rng.uniform(-1, 1, N // 2) + 1j * rng.uniform(-1, 1, N // 2)
+        coeffs = encode(v, N, SCALE)
+        (q,) = ntt_friendly_primes(N, 28, 1)
+        conj = galois_coeff(np.mod(coeffs, q), conjugation_galois_element(N), q)
+        conj = np.where(conj > q // 2, conj - q, conj)
+        back = decode(conj, N, SCALE)
+        assert np.max(np.abs(back - np.conj(v))) < 1e-3

@@ -1,0 +1,175 @@
+"""Tests for the Decomp/ModUp/KSKInP/ModDown key-switching pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import keyswitch
+from repro.fhe.poly import Domain, RnsPoly
+
+
+class TestDecompose:
+    def test_digit_shapes(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        digits = keyswitch.decompose(d, params.alpha)
+        assert len(digits) == params.digits_at_level(params.max_level)
+        total = sum(dig.num_limbs for dig in digits)
+        assert total == d.num_limbs
+        for dig in digits[:-1]:
+            assert dig.num_limbs == params.alpha
+
+    def test_digits_preserve_rows(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        digits = keyswitch.decompose(d, params.alpha)
+        reassembled = np.concatenate([dig.data for dig in digits])
+        assert np.array_equal(reassembled, d.data)
+
+    def test_ragged_last_digit(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli[:3], rng)
+        digits = keyswitch.decompose(d, params.alpha)  # 3 limbs, alpha=2
+        assert [dig.num_limbs for dig in digits] == [2, 1]
+
+
+class TestModUp:
+    def test_output_basis_and_domain(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        digit = keyswitch.decompose(d, params.alpha)[0]
+        ext = keyswitch.mod_up(digit, params.moduli, params.special_moduli)
+        assert ext.moduli == tuple(params.moduli) + tuple(params.special_moduli)
+        assert ext.domain is Domain.NTT
+
+    def test_own_limbs_carried_verbatim(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        digit = keyswitch.decompose(d, params.alpha)[0]
+        ext = keyswitch.mod_up(digit, params.moduli, params.special_moduli)
+        assert np.array_equal(ext.data[0], digit.to_ntt().data[0])
+        assert np.array_equal(ext.data[1], digit.to_ntt().data[1])
+
+    def test_extension_is_congruent(self, small_ctx, rng):
+        """Extended limbs equal the digit value + e*Q_digit on new moduli."""
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        digit = keyswitch.decompose(d, params.alpha)[0]
+        ext = keyswitch.mod_up(digit, params.moduli, params.special_moduli)
+        digit_vals = digit.to_coeff().to_integers()
+        digit_q = 1
+        for q in digit.moduli:
+            digit_q *= q
+        ext_coeff = ext.to_coeff()
+        p = params.special_moduli[0]
+        row = list(ext.moduli).index(p)
+        for j in range(4):
+            got = int(ext_coeff.data[row][j])
+            candidates = {
+                (digit_vals[j] + k * digit_q) % p
+                for k in range(len(digit.moduli) + 1)
+            }
+            assert got in candidates
+
+
+class TestModDown:
+    def test_inverse_of_scaling_by_p(self, small_ctx, rng):
+        """ModDown(P * x) ~= x."""
+        params = small_ctx.params
+        full = tuple(params.moduli) + tuple(params.special_moduli)
+        big_p = 1
+        for p in params.special_moduli:
+            big_p *= p
+        x = RnsPoly.from_coefficients(
+            [int(v) for v in rng.integers(-1000, 1000, params.n)],
+            params.n,
+            full,
+        ).to_ntt()
+        scaled = x.scalar_mul(big_p)
+        down = keyswitch.mod_down(scaled, params.moduli, params.special_moduli)
+        got = down.to_coeff().to_integers()
+        want = x.to_coeff().to_integers()
+        for g, w in zip(got, want):
+            assert abs(g - w) <= len(params.special_moduli) + 1
+
+    def test_rejects_wrong_basis_order(self, small_ctx, rng):
+        params = small_ctx.params
+        wrong = tuple(params.special_moduli) + tuple(params.moduli)
+        x = RnsPoly.random_uniform(params.n, wrong, rng)
+        with pytest.raises(ValueError):
+            keyswitch.mod_down(x, params.moduli, params.special_moduli)
+
+
+class TestKeySwitch:
+    def test_switches_to_secret(self, small_ctx, rng):
+        """key_switch(d, evk) decrypts to d * s' under s."""
+        params = small_ctx.params
+        level = params.max_level
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        evk = small_ctx.relin_key(level)
+        ks_b, ks_a = keyswitch.key_switch(small_ctx, d, evk)
+        s = small_ctx.secret_key.poly.sub_basis(params.moduli)
+        s2 = s * s
+        got = (ks_b + ks_a * s).to_coeff().to_integers()
+        want = (d * s2).to_coeff().to_integers()
+        err = max(abs(g - w) for g, w in zip(got, want))
+        # Noise bound: evk errors are amplified by digit values / P.
+        assert err < 2 ** 16
+
+    def test_level_mismatch_raises(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli[:2], rng)
+        evk = small_ctx.relin_key(params.max_level)
+        with pytest.raises(ValueError):
+            keyswitch.key_switch(small_ctx, d, evk)
+
+    def test_digit_count_mismatch_raises(self, small_ctx, rng):
+        params = small_ctx.params
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        digits = keyswitch.decompose(d, params.alpha)
+        ext = [
+            keyswitch.mod_up(dig, params.moduli, params.special_moduli)
+            for dig in digits
+        ]
+        evk = small_ctx.relin_key(params.max_level)
+        with pytest.raises(ValueError):
+            keyswitch.ksk_inner_product(ext[:1], evk)
+
+    def test_rotation_keyswitch(self, small_ctx, rng):
+        """Rotation evk switches sigma(s) -> s."""
+        from repro.fhe.encoding import rotation_galois_element
+
+        params = small_ctx.params
+        level = params.max_level
+        d = RnsPoly.random_uniform(params.n, params.moduli, rng)
+        evk = small_ctx.rotation_key(1, level)
+        ks_b, ks_a = keyswitch.key_switch(small_ctx, d, evk)
+        s = small_ctx.secret_key.poly.sub_basis(params.moduli)
+        t = rotation_galois_element(params.n, 1)
+        s_rot = s.automorphism(t)
+        got = (ks_b + ks_a * s).to_coeff().to_integers()
+        want = (d * s_rot).to_coeff().to_integers()
+        err = max(abs(g - w) for g, w in zip(got, want))
+        assert err < 2 ** 16
+
+
+class TestLowerLevelKeySwitch:
+    def test_keyswitch_at_reduced_level(self, small_ctx, rng):
+        """Keys regenerate per level so digits align with the basis."""
+        params = small_ctx.params
+        level = 1
+        d = RnsPoly.random_uniform(params.n, params.moduli[: level + 1], rng)
+        evk = small_ctx.relin_key(level)
+        ks_b, ks_a = keyswitch.key_switch(small_ctx, d, evk)
+        s = small_ctx.secret_key.poly.sub_basis(params.moduli[: level + 1])
+        got = (ks_b + ks_a * s).to_coeff().to_integers()
+        want = (d * (s * s)).to_coeff().to_integers()
+        err = max(abs(g - w) for g, w in zip(got, want))
+        assert err < 2 ** 16
+
+    def test_single_digit_level(self, small_ctx, rng):
+        """Level below alpha yields a one-digit decomposition."""
+        params = small_ctx.params
+        level = 0
+        d = RnsPoly.random_uniform(params.n, params.moduli[:1], rng)
+        digits = keyswitch.decompose(d, params.alpha)
+        assert len(digits) == 1

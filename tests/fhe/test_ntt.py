@@ -1,0 +1,134 @@
+"""Tests for the negacyclic NTT, four-step decomposition, and Galois maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.ntt import (
+    bit_reverse_permutation,
+    galois_coeff,
+    galois_eval_permutation,
+    get_ntt_context,
+    negacyclic_convolve_reference,
+)
+from repro.fhe.params import ntt_friendly_primes
+
+N = 64
+(Q,) = ntt_friendly_primes(N, 28, 1)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_ntt_context(N, Q)
+
+
+class TestBitReverse:
+    def test_involution(self):
+        perm = bit_reverse_permutation(16)
+        assert np.array_equal(perm[perm], np.arange(16))
+
+    def test_known_order_8(self):
+        assert list(bit_reverse_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(12)
+
+
+class TestForwardInverse:
+    def test_round_trip(self, ctx, rng):
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_forward_is_evaluation(self, ctx):
+        """forward(a)[j] == a(psi^(2j+1)) for a couple of indices."""
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, Q, N)
+        ahat = ctx.forward(a)
+        for j in (0, 1, N // 2, N - 1):
+            point = pow(ctx.psi, 2 * j + 1, Q)
+            val = 0
+            for i in range(N):
+                val = (val + int(a[i]) * pow(point, i, Q)) % Q
+            assert val == int(ahat[j])
+
+    def test_linear(self, ctx, rng):
+        a = rng.integers(0, Q, N)
+        b = rng.integers(0, Q, N)
+        lhs = ctx.forward((a + b) % Q)
+        rhs = (ctx.forward(a) + ctx.forward(b)) % Q
+        assert np.array_equal(lhs, rhs)
+
+    def test_convolution_theorem(self, ctx, rng):
+        a = rng.integers(0, Q, N)
+        b = rng.integers(0, Q, N)
+        prod_eval = ctx.forward(a) * ctx.forward(b) % Q
+        got = ctx.inverse(prod_eval)
+        want = negacyclic_convolve_reference(a, b, Q)
+        assert np.array_equal(got, want)
+
+    def test_x_times_xn_minus_1_wraps_negatively(self, ctx):
+        """X * X^(N-1) = X^N = -1 in the negacyclic ring."""
+        x = np.zeros(N, dtype=np.int64)
+        x[1] = 1
+        xn1 = np.zeros(N, dtype=np.int64)
+        xn1[N - 1] = 1
+        prod = ctx.inverse(ctx.forward(x) * ctx.forward(xn1) % Q)
+        want = np.zeros(N, dtype=np.int64)
+        want[0] = Q - 1
+        assert np.array_equal(prod, want)
+
+    def test_shape_validation(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.forward(np.zeros(N // 2, dtype=np.int64))
+
+
+class TestFourStep:
+    @pytest.mark.parametrize("n1,n2", [(2, 32), (4, 16), (8, 8), (16, 4), (32, 2)])
+    def test_matches_monolithic(self, ctx, rng, n1, n2):
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(ctx.forward(a), ctx.forward_four_step(a, n1, n2))
+
+    @pytest.mark.parametrize("n1,n2", [(4, 16), (8, 8)])
+    def test_inverse_four_step(self, ctx, rng, n1, n2):
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(a, ctx.inverse_four_step(ctx.forward(a), n1, n2))
+
+    def test_rejects_bad_split(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.forward_four_step(np.zeros(N, dtype=np.int64), 3, 21)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_four_step_property(self, ctx, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(ctx.forward(a), ctx.forward_four_step(a, 8, 8))
+
+
+class TestGalois:
+    @pytest.mark.parametrize("t", [3, 5, 25, 2 * N - 1])
+    def test_eval_perm_matches_coeff_map(self, ctx, rng, t):
+        """NTT(sigma_t(a)) == perm_t(NTT(a))."""
+        a = rng.integers(0, Q, N)
+        via_coeff = ctx.forward(galois_coeff(a, t, Q))
+        perm = galois_eval_permutation(N, t)
+        via_eval = ctx.forward(a)[perm]
+        assert np.array_equal(via_coeff, via_eval)
+
+    def test_coeff_map_identity(self, rng):
+        a = rng.integers(0, Q, N)
+        assert np.array_equal(galois_coeff(a, 1, Q), a)
+
+    def test_eval_perm_rejects_even(self):
+        with pytest.raises(ValueError):
+            galois_eval_permutation(N, 2)
+
+    def test_composition(self, rng):
+        """sigma_s(sigma_t(a)) == sigma_{s*t mod 2N}(a)."""
+        a = rng.integers(0, Q, N)
+        s, t = 5, 25
+        lhs = galois_coeff(galois_coeff(a, t, Q), s, Q)
+        rhs = galois_coeff(a, s * t % (2 * N), Q)
+        assert np.array_equal(lhs, rhs)

@@ -1,0 +1,150 @@
+"""Tests for CKKS parameter sets and prime generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.params import (
+    CKKSParams,
+    PARAMETER_SETS,
+    is_prime,
+    make_concrete_params,
+    ntt_friendly_primes,
+    parameter_set,
+    primitive_root_of_unity,
+    security_bits_estimate,
+)
+
+
+class TestPrimes:
+    def test_is_prime_basics(self):
+        primes = [2, 3, 5, 7, 11, 104729, 268435459]
+        for p in primes:
+            assert is_prime(p), p
+        for c in [0, 1, 4, 9, 104730, 268435457]:
+            assert not is_prime(c), c
+
+    def test_ntt_friendly_primes_are_1_mod_2n(self):
+        for log_n in (4, 6, 8):
+            n = 1 << log_n
+            for p in ntt_friendly_primes(n, 20, 4):
+                assert is_prime(p)
+                assert p % (2 * n) == 1
+
+    def test_primes_distinct_and_sorted(self):
+        ps = ntt_friendly_primes(64, 28, 6)
+        assert len(set(ps)) == 6
+        assert list(ps) == sorted(ps)
+
+    def test_skip_carves_disjoint_sets(self):
+        a = ntt_friendly_primes(64, 28, 3)
+        b = ntt_friendly_primes(64, 28, 3, skip=3)
+        assert not set(a) & set(b)
+
+    def test_primitive_root_order(self):
+        n = 64
+        (q,) = ntt_friendly_primes(n, 28, 1)
+        root = primitive_root_of_unity(2 * n, q)
+        assert pow(root, 2 * n, q) == 1
+        assert pow(root, n, q) != 1
+
+    def test_primitive_root_rejects_bad_order(self):
+        # 5 does not divide q - 1 = 268437888.
+        with pytest.raises(ValueError):
+            primitive_root_of_unity(5, 268437889)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ntt_friendly_primes(63, 20, 1)
+
+
+class TestCKKSParams:
+    def test_table3_sets_exist(self):
+        assert set(PARAMETER_SETS) == {"BTS", "ARK", "SHARP", "CraterLake"}
+
+    @pytest.mark.parametrize(
+        "name,log_n,level,boot,dnum,alpha,word",
+        [
+            ("BTS", 17, 39, 19, 2, 20, 64),
+            ("ARK", 16, 23, 15, 4, 6, 64),
+            ("SHARP", 16, 35, 27, 3, 12, 36),
+            ("CraterLake", 16, 59, 51, 1, 60, 28),
+        ],
+    )
+    def test_table3_values(self, name, log_n, level, boot, dnum, alpha, word):
+        p = parameter_set(name)
+        assert p.log_n == log_n
+        assert p.max_level == level
+        assert p.boot_levels == boot
+        assert p.dnum == dnum
+        assert p.alpha == alpha
+        assert p.word_bits == word
+
+    def test_unknown_set_raises(self):
+        with pytest.raises(KeyError):
+            parameter_set("nope")
+
+    def test_digit_count(self):
+        p = parameter_set("ARK")  # L=23, alpha=6
+        assert p.digits_at_level(23) == 4
+        assert p.digits_at_level(5) == 1
+        assert p.digits_at_level(6) == 2
+        assert p.digits_at_level(0) == 1
+
+    def test_digit_count_bounds(self):
+        p = parameter_set("ARK")
+        with pytest.raises(ValueError):
+            p.digits_at_level(-1)
+        with pytest.raises(ValueError):
+            p.digits_at_level(24)
+
+    def test_evk_shape_formula(self):
+        p = parameter_set("SHARP")  # alpha=12, dnum=3
+        level = p.max_level
+        beta = p.digits_at_level(level)
+        assert p.evk_elements(level) == 2 * beta * (p.alpha + level + 1) * p.n
+
+    def test_ciphertext_elements(self):
+        p = parameter_set("ARK")
+        assert p.ciphertext_elements(23) == 2 * 24 * p.n
+
+    def test_dnum_alpha_must_cover_levels(self):
+        with pytest.raises(ValueError):
+            CKKSParams(log_n=10, max_level=9, dnum=2, alpha=4)
+
+    def test_with_level_truncates(self):
+        p = make_concrete_params(log_n=4, max_level=3, alpha=2)
+        p2 = p.with_level(1)
+        assert p2.max_level == 1
+        assert len(p2.moduli) == 2
+        assert p2.moduli == p.moduli[:2]
+
+    def test_with_level_same_is_identity(self):
+        p = parameter_set("BTS")
+        assert p.with_level(p.max_level) is p
+
+    def test_concrete_params_have_real_moduli(self):
+        p = make_concrete_params(log_n=5, max_level=2, alpha=1)
+        assert p.is_concrete
+        assert len(p.moduli) == 3
+        assert len(p.special_moduli) == 1
+        assert not set(p.moduli) & set(p.special_moduli)
+
+    def test_spec_sets_not_concrete(self):
+        assert not parameter_set("BTS").is_concrete
+
+    def test_prime_bits_cap(self):
+        with pytest.raises(ValueError):
+            make_concrete_params(log_n=4, max_level=1, alpha=1, prime_bits=30)
+
+    def test_security_estimate_monotonic_in_n(self):
+        small = CKKSParams(log_n=15, max_level=23, dnum=4, alpha=6, word_bits=64)
+        big = CKKSParams(log_n=16, max_level=23, dnum=4, alpha=6, word_bits=64)
+        assert security_bits_estimate(big) > security_bits_estimate(small)
+
+    @given(level=st.integers(min_value=0, max_value=23))
+    @settings(max_examples=24, deadline=None)
+    def test_digits_formula_property(self, level):
+        p = parameter_set("ARK")
+        beta = p.digits_at_level(level)
+        assert (beta - 1) * p.alpha < level + 1 <= beta * p.alpha

@@ -1,0 +1,139 @@
+"""Tests for RnsPoly arithmetic and domain handling."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ntt import negacyclic_convolve_reference
+from repro.fhe.params import ntt_friendly_primes
+from repro.fhe.poly import Domain, RnsPoly
+
+N = 32
+MODULI = list(ntt_friendly_primes(N, 28, 3))
+
+
+@pytest.fixture()
+def rand_poly(rng):
+    return RnsPoly.random_uniform(N, MODULI, rng, Domain.NTT)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        p = RnsPoly.zeros(N, MODULI)
+        assert p.n == N
+        assert p.num_limbs == 3
+        assert not p.data.any()
+
+    def test_from_coefficients_handles_negative(self):
+        p = RnsPoly.from_coefficients([-1, 2], N, MODULI)
+        assert p.domain is Domain.COEFF
+        assert p.data[0][0] == MODULI[0] - 1
+        assert p.data[0][1] == 2
+
+    def test_round_trip_to_integers(self):
+        coeffs = [5, -7, 0, 123456]
+        p = RnsPoly.from_coefficients(coeffs, N, MODULI)
+        assert p.to_integers()[:4] == coeffs
+
+    def test_rejects_limb_mismatch(self):
+        with pytest.raises(ValueError):
+            RnsPoly(np.zeros((2, N), dtype=np.int64), tuple(MODULI))
+
+    def test_rejects_non_power_length(self):
+        with pytest.raises(ValueError):
+            RnsPoly(np.zeros((3, 12), dtype=np.int64), tuple(MODULI))
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng)
+        b = RnsPoly.random_uniform(N, MODULI, rng)
+        assert (a + b) - b == a
+
+    def test_neg(self, rand_poly):
+        zero = rand_poly + (-rand_poly)
+        assert not zero.data.any()
+
+    def test_mul_is_negacyclic_convolution(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng, Domain.COEFF)
+        b = RnsPoly.random_uniform(N, MODULI, rng, Domain.COEFF)
+        prod = (a.to_ntt() * b.to_ntt()).to_coeff()
+        for i, q in enumerate(MODULI):
+            want = negacyclic_convolve_reference(a.data[i], b.data[i], q)
+            assert np.array_equal(prod.data[i], want)
+
+    def test_mul_requires_ntt_domain(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng, Domain.COEFF)
+        with pytest.raises(ValueError):
+            _ = a * a
+
+    def test_domain_mismatch_raises(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng, Domain.COEFF)
+        b = RnsPoly.random_uniform(N, MODULI, rng, Domain.NTT)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_basis_mismatch_raises(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI[:2], rng)
+        b = RnsPoly.random_uniform(N, MODULI[1:], rng)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_scalar_mul(self):
+        p = RnsPoly.from_coefficients([3], N, MODULI)
+        doubled = p.scalar_mul(2)
+        assert doubled.to_integers()[0] == 6
+
+    def test_limb_scalar_mul(self, rng):
+        p = RnsPoly.random_uniform(N, MODULI, rng)
+        ones = p.limb_scalar_mul([1, 1, 1])
+        assert ones == p
+
+
+class TestDomains:
+    def test_ntt_round_trip(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng, Domain.COEFF)
+        assert a.to_ntt().to_coeff() == a
+
+    def test_to_ntt_idempotent(self, rand_poly):
+        assert rand_poly.to_ntt() == rand_poly
+
+    def test_automorphism_identity(self, rand_poly):
+        assert rand_poly.automorphism(1) == rand_poly
+
+    def test_automorphism_domains_agree(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng, Domain.COEFF)
+        t = 5
+        via_coeff = a.automorphism(t).to_ntt()
+        via_eval = a.to_ntt().automorphism(t)
+        assert via_coeff == via_eval
+
+
+class TestBasisOps:
+    def test_drop_last_limb(self, rand_poly):
+        dropped = rand_poly.drop_last_limb()
+        assert dropped.moduli == tuple(MODULI[:2])
+        assert np.array_equal(dropped.data, rand_poly.data[:2])
+
+    def test_drop_only_limb_raises(self, rng):
+        p = RnsPoly.random_uniform(N, MODULI[:1], rng)
+        with pytest.raises(ValueError):
+            p.drop_last_limb()
+
+    def test_extend_disjoint(self, rng):
+        extra = list(ntt_friendly_primes(N, 29, 1))
+        a = RnsPoly.random_uniform(N, MODULI, rng)
+        b = RnsPoly.random_uniform(N, extra, rng)
+        ext = a.extend(b)
+        assert ext.moduli == tuple(MODULI) + tuple(extra)
+        assert ext.num_limbs == 4
+
+    def test_extend_overlap_raises(self, rng):
+        a = RnsPoly.random_uniform(N, MODULI, rng)
+        with pytest.raises(ValueError):
+            a.extend(a)
+
+    def test_sub_basis_selects_rows(self, rand_poly):
+        sub = rand_poly.sub_basis([MODULI[2], MODULI[0]])
+        assert sub.moduli == (MODULI[2], MODULI[0])
+        assert np.array_equal(sub.data[0], rand_poly.data[2])
+        assert np.array_equal(sub.data[1], rand_poly.data[0])

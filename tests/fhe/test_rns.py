@@ -1,0 +1,157 @@
+"""Tests for RNS arithmetic and base conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.params import ntt_friendly_primes
+from repro.fhe.rns import (
+    BaseConverter,
+    centered,
+    crt_reconstruct,
+    flooring_scale,
+    mod_add,
+    mod_inverse,
+    mod_mul,
+    mod_neg,
+    mod_sub,
+    to_rns,
+)
+
+Q_BASIS = list(ntt_friendly_primes(64, 28, 3))
+P_BASIS = list(ntt_friendly_primes(64, 29, 2))
+
+
+class TestModularOps:
+    def test_add_sub_inverse(self):
+        q = Q_BASIS[0]
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, q, 100)
+        b = rng.integers(0, q, 100)
+        assert np.array_equal(mod_sub(mod_add(a, b, q), b, q), a % q)
+
+    def test_neg(self):
+        q = Q_BASIS[0]
+        a = np.array([0, 1, q - 1])
+        assert np.array_equal(mod_add(a, mod_neg(a, q), q), np.zeros(3))
+
+    def test_mul_matches_python(self):
+        q = Q_BASIS[0]
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, q, 50)
+        b = rng.integers(0, q, 50)
+        got = mod_mul(a, b, q)
+        want = np.array([int(x) * int(y) % q for x, y in zip(a, b)])
+        assert np.array_equal(got, want)
+
+    def test_mod_inverse(self):
+        q = Q_BASIS[1]
+        for a in [1, 2, 12345, q - 1]:
+            assert a * mod_inverse(a, q) % q == 1
+
+    def test_mod_inverse_composite_modulus(self):
+        m = 15
+        assert 7 * mod_inverse(7, m) % m == 1
+
+    def test_centered_range(self):
+        q = 17
+        r = centered(np.arange(q), q)
+        assert r.min() == -(q // 2)
+        assert r.max() == q // 2
+        assert np.array_equal(np.mod(r, q), np.arange(q))
+
+
+class TestCRT:
+    def test_round_trip_small(self):
+        values = [0, 1, -1, 12345, -999999]
+        limbs = to_rns(values, Q_BASIS)
+        back = crt_reconstruct(limbs, Q_BASIS)
+        assert back == values
+
+    @given(st.lists(st.integers(min_value=-(2**60), max_value=2**60),
+                    min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, values):
+        limbs = to_rns(values, Q_BASIS)
+        back = crt_reconstruct(limbs, Q_BASIS)
+        assert back == values
+
+    def test_mismatched_counts_raise(self):
+        limbs = to_rns([1, 2], Q_BASIS)
+        with pytest.raises(ValueError):
+            crt_reconstruct(limbs[:2], Q_BASIS)
+
+
+class TestBaseConverter:
+    def test_rejects_overlapping_bases(self):
+        with pytest.raises(ValueError):
+            BaseConverter(Q_BASIS, Q_BASIS[:1] + P_BASIS)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BaseConverter([], P_BASIS)
+
+    def test_matrix_shape(self):
+        conv = BaseConverter(Q_BASIS, P_BASIS)
+        assert conv.matrix.shape == (len(P_BASIS), len(Q_BASIS))
+        assert conv.matrix_elements == len(P_BASIS) * len(Q_BASIS)
+
+    def test_exact_on_small_values(self):
+        """For |x| << Q the approximate result is off by e*Q, e < len(Q)."""
+        conv = BaseConverter(Q_BASIS, P_BASIS)
+        rng = np.random.default_rng(2)
+        values = rng.integers(-1000, 1000, 64)
+        limbs = np.stack(to_rns(list(values), Q_BASIS))
+        approx = conv.convert(limbs)
+        exact = conv.convert_exact_small(limbs)
+        big_q = conv.source_product
+        for j, p in enumerate(P_BASIS):
+            diff = (approx[j].astype(object) - exact[j].astype(object)) % p
+            allowed = {k * big_q % p for k in range(len(Q_BASIS) + 1)}
+            assert set(int(d) for d in diff) <= allowed
+
+    @given(st.integers(min_value=0, max_value=2**80))
+    @settings(max_examples=40, deadline=None)
+    def test_congruence_property(self, x):
+        """approx(x) == x + e*Q (mod p) with 0 <= e < len(Q)."""
+        conv = BaseConverter(Q_BASIS, P_BASIS)
+        big_q = conv.source_product
+        x %= big_q
+        limbs = np.stack(to_rns([x], Q_BASIS))
+        approx = conv.convert(limbs)
+        for j, p in enumerate(P_BASIS):
+            allowed = {(x + k * big_q) % p for k in range(len(Q_BASIS))}
+            assert int(approx[j][0]) in allowed
+
+    def test_shape_validation(self):
+        conv = BaseConverter(Q_BASIS, P_BASIS)
+        with pytest.raises(ValueError):
+            conv.convert(np.zeros((2, 8), dtype=np.int64))
+
+
+class TestFlooringScale:
+    def test_divides_exact_multiples(self):
+        moduli = Q_BASIS
+        last = moduli[-1]
+        values = [last * k for k in [0, 1, -3, 1000]]
+        limbs = np.stack(to_rns(values, moduli))
+        out = flooring_scale(limbs, moduli, last)
+        back = crt_reconstruct(list(out), moduli[:-1])
+        assert back == [0, 1, -3, 1000]
+
+    def test_rounding_error_bounded(self):
+        moduli = Q_BASIS
+        last = moduli[-1]
+        rng = np.random.default_rng(3)
+        values = [int(v) for v in rng.integers(-(2**50), 2**50, 32)]
+        limbs = np.stack(to_rns(values, moduli))
+        out = flooring_scale(limbs, moduli, last)
+        back = crt_reconstruct(list(out), moduli[:-1])
+        for v, b in zip(values, back):
+            assert abs(b - v / last) <= 1.0
+
+    def test_wrong_last_raises(self):
+        limbs = np.stack(to_rns([1, 2], Q_BASIS))
+        with pytest.raises(ValueError):
+            flooring_scale(limbs, Q_BASIS, Q_BASIS[0])

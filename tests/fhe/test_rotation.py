@@ -1,0 +1,145 @@
+"""Tests for Min-KS, Hoisting, and Hybrid rotation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.rotation import (
+    hoisted_rotations,
+    hybrid_cost_summary,
+    hybrid_rotations,
+    min_ks_rotations,
+)
+
+N1 = 4
+TOL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def encrypted(bsgs_ctx):
+    rng = np.random.default_rng(99)
+    v = rng.uniform(-1, 1, bsgs_ctx.params.slots)
+    ct = bsgs_ctx.encrypt(bsgs_ctx.encode(v))
+    return v, ct
+
+
+def _assert_rotations_correct(ctx, v, rots):
+    for i, ct in enumerate(rots):
+        back = ctx.decrypt_decode(ct, len(v))
+        assert np.max(np.abs(back - np.roll(v, -i))) < TOL, f"rotation {i}"
+
+
+class TestCorrectness:
+    def test_min_ks(self, bsgs_ctx, encrypted):
+        v, ct = encrypted
+        rots, _ = min_ks_rotations(bsgs_ctx, ct, N1)
+        assert len(rots) == N1
+        _assert_rotations_correct(bsgs_ctx, v, rots)
+
+    def test_hoisting(self, bsgs_ctx, encrypted):
+        v, ct = encrypted
+        rots, _ = hoisted_rotations(bsgs_ctx, ct, N1)
+        _assert_rotations_correct(bsgs_ctx, v, rots)
+
+    @pytest.mark.parametrize("r_hyb", [1, 2, 3, 4, 8])
+    def test_hybrid_all_r(self, bsgs_ctx, encrypted, r_hyb):
+        v, ct = encrypted
+        rots, _ = hybrid_rotations(bsgs_ctx, ct, N1, r_hyb)
+        _assert_rotations_correct(bsgs_ctx, v, rots)
+
+    def test_single_rotation_trivial(self, bsgs_ctx, encrypted):
+        v, ct = encrypted
+        rots, counts = hoisted_rotations(bsgs_ctx, ct, 1)
+        assert len(rots) == 1
+        assert counts.mod_ups == 0
+
+
+class TestCounts:
+    def test_min_ks_counts(self, bsgs_ctx, encrypted):
+        _, ct = encrypted
+        _, counts = min_ks_rotations(bsgs_ctx, ct, N1)
+        assert counts.mod_ups == N1 - 1
+        assert counts.mod_downs == N1 - 1
+        assert counts.distinct_evks == 1
+
+    def test_hoisting_counts(self, bsgs_ctx, encrypted):
+        _, ct = encrypted
+        _, counts = hoisted_rotations(bsgs_ctx, ct, N1)
+        assert counts.mod_ups == 1
+        assert counts.mod_downs == N1 - 1
+        assert counts.distinct_evks == N1 - 1
+
+    @pytest.mark.parametrize("r_hyb", [1, 2, 3, 4])
+    def test_hybrid_counts_match_summary(self, bsgs_ctx, encrypted, r_hyb):
+        _, ct = encrypted
+        _, counts = hybrid_rotations(bsgs_ctx, ct, N1, r_hyb)
+        summary = hybrid_cost_summary(N1, r_hyb)
+        assert counts.mod_ups == summary["mod_ups"]
+        assert counts.mod_downs == summary["mod_downs"]
+        assert counts.distinct_evks == summary["distinct_evks"]
+
+    def test_hybrid_extremes(self):
+        """r_hyb=1 degenerates to Min-KS; r_hyb>=n1 to Hoisting."""
+        n1 = 8
+        minks_like = hybrid_cost_summary(n1, 1)
+        assert minks_like["mod_downs"] == n1 - 1
+        assert minks_like["distinct_evks"] == 1
+        hoist_like = hybrid_cost_summary(n1, n1)
+        assert hoist_like["coarse_steps"] == 0
+        assert hoist_like["mod_ups"] == 1
+        assert hoist_like["distinct_evks"] == n1 - 1
+
+    def test_paper_tradeoff_formulas(self):
+        """Section V-C: hybrid saves n1 - ceil(n1/r_hyb) ModUp+ModDown
+        pairs vs Min-KS, and n1 - 1 - r_hyb evks vs Hoisting."""
+        n1, r_hyb = 16, 4
+        s = hybrid_cost_summary(n1, r_hyb)
+        minks_modups = n1 - 1
+        saved = minks_modups - s["coarse_steps"] - 0  # fine groups add back
+        # ModDown count: hybrid = n1 - 1 either way (one per produced rot).
+        assert s["mod_downs"] == n1 - 1
+        # evk count: r_hyb fine+coarse keys vs n1-1 for hoisting.
+        assert s["distinct_evks"] == r_hyb
+        hoisting_evks = n1 - 1
+        assert hoisting_evks - s["distinct_evks"] == n1 - 1 - r_hyb
+
+    def test_bad_r_hyb_raises(self, bsgs_ctx, encrypted):
+        _, ct = encrypted
+        with pytest.raises(ValueError):
+            hybrid_rotations(bsgs_ctx, ct, N1, 0)
+        with pytest.raises(ValueError):
+            hybrid_cost_summary(4, 0)
+
+
+class TestHybridLargerScale:
+    """Hybrid with n1=8 on a second context exercises multi-group fines."""
+
+    @pytest.fixture(scope="class")
+    def ctx8(self):
+        from repro.fhe.context import CKKSContext
+        from repro.fhe.params import make_concrete_params
+
+        params = make_concrete_params(log_n=5, max_level=3, alpha=2)
+        return CKKSContext(params, seed=123)
+
+    def test_n1_8_r4(self, ctx8):
+        rng = np.random.default_rng(8)
+        v = rng.uniform(-1, 1, ctx8.params.slots)
+        ct = ctx8.encrypt(ctx8.encode(v))
+        rots, counts = hybrid_rotations(ctx8, ct, 8, 4)
+        for i, c in enumerate(rots):
+            got = ctx8.decrypt_decode(c, len(v))
+            assert np.max(np.abs(got - np.roll(v, -i))) < 1e-2, i
+        summary = hybrid_cost_summary(8, 4)
+        assert counts.mod_ups == summary["mod_ups"]
+        assert counts.distinct_evks == summary["distinct_evks"]
+
+    def test_fine_evk_sharing_across_groups(self, ctx8):
+        """Amount-1 fine steps of both coarse groups reuse one cached key."""
+        rng = np.random.default_rng(9)
+        v = rng.uniform(-1, 1, ctx8.params.slots)
+        ct = ctx8.encrypt(ctx8.encode(v))
+        before = len(ctx8._rotation_keys)
+        _, counts = hybrid_rotations(ctx8, ct, 8, 4)
+        added = len(ctx8._rotation_keys) - before
+        # 3 fine amounts + 1 coarse amount at this level.
+        assert added <= 4

@@ -1,0 +1,117 @@
+"""Tests for loop-nest notation and matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.loops import (
+    Axis,
+    Loop,
+    LoopNest,
+    matched_prefix,
+    pipeline_granule,
+    power_of_two_splits,
+    tile_n,
+)
+
+
+class TestLoop:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Loop(Axis.N, 0)
+
+    def test_repr(self):
+        assert repr(Loop(Axis.N1, 8)) == "N1:8"
+
+
+class TestLoopNest:
+    def test_total_iterations(self):
+        nest = LoopNest.of((Axis.LIMB, 4), (Axis.N, 256))
+        assert nest.total_iterations == 1024
+
+    def test_granule_elements(self):
+        nest = LoopNest.of((Axis.N1, 8), (Axis.LIMB, 4), (Axis.N2, 32))
+        assert nest.granule_elements(0) == 8 * 4 * 32
+        assert nest.granule_elements(1) == 4 * 32
+        assert nest.granule_elements(2) == 32
+        assert nest.granule_elements(3) == 1
+
+    def test_granule_bounds(self):
+        nest = LoopNest.of((Axis.N, 8))
+        with pytest.raises(ValueError):
+            nest.granule_elements(2)
+
+    def test_drop_top(self):
+        nest = LoopNest.of((Axis.N1, 8), (Axis.N2, 4))
+        assert nest.drop_top(1) == LoopNest.of((Axis.N2, 4))
+
+    def test_equality_and_hash(self):
+        a = LoopNest.of((Axis.N, 8))
+        b = LoopNest.of((Axis.N, 8))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != LoopNest.of((Axis.N, 16))
+
+
+class TestMatching:
+    def test_full_match(self):
+        a = LoopNest.of((Axis.LIMB, 4), (Axis.N, 64))
+        b = LoopNest.of((Axis.LIMB, 4), (Axis.N, 64))
+        assert matched_prefix(a, b) == 2
+
+    def test_partial_match(self):
+        a = LoopNest.of((Axis.LIMB, 4), (Axis.N, 64))
+        b = LoopNest.of((Axis.LIMB, 4), (Axis.N, 32))
+        assert matched_prefix(a, b) == 1
+
+    def test_no_match(self):
+        a = LoopNest.of((Axis.N, 64), (Axis.LIMB, 4))
+        b = LoopNest.of((Axis.LIMB, 4), (Axis.N, 64))
+        assert matched_prefix(a, b) == 0
+
+    def test_stage_axis_never_matches(self):
+        a = LoopNest.of((Axis.LIMB, 4), (Axis.STAGE, 6), (Axis.N, 64))
+        b = LoopNest.of((Axis.LIMB, 4), (Axis.STAGE, 6), (Axis.N, 64))
+        assert matched_prefix(a, b) == 1  # stops at the STAGE loop
+
+    def test_pipeline_granule(self):
+        prod = LoopNest.of((Axis.N1, 8), (Axis.LIMB, 4), (Axis.N2, 32))
+        cons = LoopNest.of((Axis.N1, 8), (Axis.LIMB, 4), (Axis.N2, 32))
+        k, granule = pipeline_granule(prod, cons)
+        assert k == 3
+        assert granule == 1
+
+    def test_pipeline_granule_unmatched(self):
+        prod = LoopNest.of((Axis.N, 64))
+        cons = LoopNest.of((Axis.LIMB, 4))
+        k, granule = pipeline_granule(prod, cons)
+        assert k == 0
+        assert granule == 64  # full tensor
+
+
+class TestTiling:
+    def test_tile_n(self):
+        assert tile_n(64, 8) == (8, 8)
+
+    def test_tile_n_rejects_nondivisor(self):
+        with pytest.raises(ValueError):
+            tile_n(64, 3)
+
+    def test_power_of_two_splits(self):
+        splits = power_of_two_splits(64, min_tile=4)
+        assert (4, 16) in splits
+        assert (16, 4) in splits
+        for n1, n2 in splits:
+            assert n1 * n2 == 64
+            assert n1 >= 4 and n2 >= 4
+
+    def test_splits_reject_non_power(self):
+        with pytest.raises(ValueError):
+            power_of_two_splits(12)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=11, deadline=None)
+    def test_splits_property(self, log_n):
+        n = 1 << log_n
+        for n1, n2 in power_of_two_splits(n):
+            assert n1 * n2 == n

@@ -1,0 +1,70 @@
+"""Tests for the analytical cost model facade."""
+
+import pytest
+
+from repro.baselines.accelerators import SHARP
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.sched.cost_model import (
+    TimeBreakdown,
+    arithmetic_intensity,
+    group_time_breakdown,
+    machine_balance,
+    schedule_bottleneck_profile,
+)
+from repro.sched.dataflow import GroupMetrics
+from repro.sched.scheduler import Scheduler
+
+PARAMS = parameter_set("ARK")
+
+
+def _schedule():
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", 10), b.input_ciphertext("y", 10))
+    return Scheduler(b.graph, CROPHE_64).schedule()
+
+
+class TestBreakdown:
+    def test_total_is_max(self):
+        bd = TimeBreakdown(compute=1.0, dram=2.0, sram=0.5, noc=0.1,
+                           transpose=0.0)
+        assert bd.total == 2.0
+        assert bd.bottleneck == "dram"
+
+    def test_group_breakdown_from_metrics(self):
+        m = GroupMetrics(
+            compute_cycles=1_200_000,   # 1 ms at 1.2 GHz
+            dram_read_bytes=850_000_000,
+            sram_bytes=0,
+            noc_bytes=0,
+        )
+        bd = group_time_breakdown(m, CROPHE_64)
+        assert bd.compute == pytest.approx(1e-3)
+        assert bd.dram == pytest.approx(1e-3, rel=0.25)
+
+    def test_specialized_hw_has_free_noc(self):
+        m = GroupMetrics(noc_bytes=10 ** 9)
+        assert group_time_breakdown(m, SHARP).noc == 0.0
+        assert group_time_breakdown(m, CROPHE_64).noc > 0.0
+
+    def test_schedule_profile_sums_to_total(self):
+        sched = _schedule()
+        profile = schedule_bottleneck_profile(sched, CROPHE_64)
+        assert sum(profile.values()) == pytest.approx(
+            sum(s.seconds for s in sched.steps)
+        )
+        assert profile  # at least one bottleneck class
+
+
+class TestRoofline:
+    def test_intensity_infinite_without_dram(self):
+        assert arithmetic_intensity(GroupMetrics(compute_cycles=10), 8) \
+            == float("inf")
+
+    def test_intensity_positive(self):
+        m = GroupMetrics(compute_cycles=100, dram_read_bytes=50)
+        assert arithmetic_intensity(m, 8) == pytest.approx(2.0)
+
+    def test_machine_balance_positive(self):
+        assert machine_balance(CROPHE_64) > 0

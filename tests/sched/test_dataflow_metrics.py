@@ -1,0 +1,85 @@
+"""Focused tests on the group-metrics accounting rules."""
+
+import pytest
+
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator, OpKind
+from repro.ir.tensors import poly_tensor
+from repro.sched.dataflow import SpatialGroupPlan
+
+PARAMS = parameter_set("ARK")
+N = PARAMS.n
+WORD = CROPHE_64.word_bytes
+
+
+def _single_consumer_graph(src_limbs: int, op_limbs: int):
+    """A graph with one op consuming a slice of a bigger tensor."""
+    g = OperatorGraph()
+    src = poly_tensor("big", src_limbs, N, WORD)
+    out = poly_tensor("out", op_limbs, N, WORD)
+    op = Operator(
+        "slice", OpKind.EW_ADD, limbs=op_limbs, n=N,
+        inputs=[src], outputs=[out],
+    )
+    g.add_operator(op)
+    return g, op, src
+
+
+class TestSliceAwareReads:
+    def test_slice_consumer_charged_slice(self):
+        g, op, src = _single_consumer_graph(src_limbs=24, op_limbs=6)
+        plan = SpatialGroupPlan(g, [op], CROPHE_64)
+        charged = plan.metrics.external_read_bytes[src.uid]
+        assert charged == 6 * N * WORD
+        assert charged < src.bytes
+
+    def test_full_consumer_charged_full(self):
+        g, op, src = _single_consumer_graph(src_limbs=6, op_limbs=6)
+        plan = SpatialGroupPlan(g, [op], CROPHE_64)
+        assert plan.metrics.external_read_bytes[src.uid] == src.bytes
+
+    def test_two_consumers_top_up_to_largest_slice(self):
+        g = OperatorGraph()
+        src = poly_tensor("big", 24, N, WORD)
+        small = Operator(
+            "small", OpKind.EW_ADD, limbs=4, n=N,
+            inputs=[src], outputs=[poly_tensor("o1", 4, N, WORD)],
+        )
+        large = Operator(
+            "large", OpKind.EW_ADD, limbs=12, n=N,
+            inputs=[src], outputs=[poly_tensor("o2", 12, N, WORD)],
+        )
+        g.add_operator(small)
+        g.add_operator(large)
+        plan = SpatialGroupPlan(g, [small, large], CROPHE_64)
+        assert plan.metrics.external_read_bytes[src.uid] == 12 * N * WORD
+
+    def test_residency_discount_uses_charged_slice(self):
+        g, op, src = _single_consumer_graph(src_limbs=24, op_limbs=6)
+        plan = SpatialGroupPlan(g, [op], CROPHE_64)
+        cold, cold_m = plan.execution_seconds()
+        warm, warm_m = plan.execution_seconds(resident_inputs={src.uid})
+        saved = cold_m.dram_read_bytes - warm_m.dram_read_bytes
+        assert saved == 6 * N * WORD
+
+
+class TestDeferredWrites:
+    def test_extra_write_bytes_added(self):
+        g, op, src = _single_consumer_graph(4, 4)
+        plan = SpatialGroupPlan(g, [op], CROPHE_64)
+        base, base_m = plan.execution_seconds()
+        _, spill_m = plan.execution_seconds(extra_write_bytes=1 << 20)
+        assert spill_m.dram_write_bytes == base_m.dram_write_bytes + (1 << 20)
+
+    def test_kept_outputs_skip_write(self):
+        g, op, src = _single_consumer_graph(4, 4)
+        plan = SpatialGroupPlan(g, [op], CROPHE_64)
+        _, outs = plan.boundary()
+        _, kept_m = plan.execution_seconds(
+            kept_outputs={t.uid for t in outs}
+        )
+        _, full_m = plan.execution_seconds()
+        assert kept_m.dram_write_bytes < full_m.dram_write_bytes

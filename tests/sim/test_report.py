@@ -1,0 +1,54 @@
+"""Tests for the report pretty-printers."""
+
+import pytest
+
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.sched.scheduler import Scheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.report import comparison_table, schedule_table, simulation_summary
+
+PARAMS = parameter_set("ARK")
+
+
+@pytest.fixture(scope="module")
+def run():
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", 10), b.input_ciphertext("y", 10))
+    schedule = Scheduler(b.graph, CROPHE_64).schedule()
+    result = SimulationEngine(CROPHE_64).run(schedule)
+    return schedule, result
+
+
+class TestReports:
+    def test_schedule_table_has_rows(self, run):
+        schedule, _ = run
+        text = schedule_table(schedule, CROPHE_64)
+        assert "bound" in text
+        assert len(text.splitlines()) >= min(len(schedule.steps), 3)
+
+    def test_schedule_table_truncates(self, run):
+        schedule, _ = run
+        text = schedule_table(schedule, CROPHE_64, max_rows=1)
+        if len(schedule.steps) > 1:
+            assert "more groups" in text
+
+    def test_summary_mentions_traffic(self, run):
+        _, result = run
+        text = simulation_summary(result, "hmult")
+        assert "DRAM traffic" in text
+        assert "hmult" in text
+
+    def test_comparison_reference_is_1x(self, run):
+        _, result = run
+        text = comparison_table([result, result], ["a", "b"])
+        assert "1.00x" in text
+
+    def test_comparison_validates_labels(self, run):
+        _, result = run
+        with pytest.raises(ValueError):
+            comparison_table([result], ["a", "b"])
+
+    def test_comparison_empty(self):
+        assert comparison_table([], []) == "(no results)"
