@@ -20,6 +20,13 @@ experiments:
 experiments-quick:
 	python -m repro.experiments.runner all --quick
 
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
 examples:
 	python examples/quickstart.py
 	python examples/private_inference.py

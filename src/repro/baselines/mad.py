@@ -93,6 +93,9 @@ class MadScheduler(Scheduler):
             min_ntt_tile=base.min_ntt_tile,
             constant_share=base.constant_share,
             temporal_streaming=False,  # MAD's fusion islands spill between groups
+            max_search_seconds=base.max_search_seconds,
+            max_search_nodes=base.max_search_nodes,
+            fallback_on_budget=base.fallback_on_budget,
         )
         super().__init__(graph, hw, mad_config, n_split=None)
 

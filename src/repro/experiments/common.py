@@ -17,10 +17,12 @@ figure/table modules revisit the same points.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.mad import MadScheduler
+from repro.resilience.errors import ConfigError, InfeasibleScheduleError
 from repro.fhe.params import CKKSParams
 from repro.hw.config import HardwareConfig
 from repro.sched.dataflow import Schedule
@@ -74,6 +76,8 @@ class EvalResult:
     traffic: TrafficReport
     num_groups: int
     segment_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Whether any segment schedule came from the greedy budget fallback.
+    degraded: bool = False
 
     @property
     def ms(self) -> float:
@@ -97,12 +101,36 @@ def _hw_key(hw: HardwareConfig) -> Tuple:
     )
 
 
+def default_scheduler_config() -> SchedulerConfig:
+    """Scheduler knobs with search budgets taken from the environment.
+
+    ``REPRO_MAX_SEARCH_SECONDS`` / ``REPRO_MAX_SEARCH_NODES`` bound each
+    DP search; exhausted budgets degrade to the greedy fallback (the
+    schedule is tagged, never missing). Unset variables mean unbounded —
+    the historical behaviour.
+    """
+    def _parse(name: str, cast) -> Optional[float]:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return None
+        try:
+            return cast(raw)
+        except ValueError:
+            raise ConfigError(name, raw, f"must parse as {cast.__name__}")
+
+    return SchedulerConfig(
+        max_search_seconds=_parse("REPRO_MAX_SEARCH_SECONDS", float),
+        max_search_nodes=_parse("REPRO_MAX_SEARCH_NODES", int),
+    )
+
+
 def _schedule_segment(graph, hw, dataflow, config, n_split):
     key = (
         id(graph), _hw_key(hw), dataflow,
         (config.max_group_size, config.keep_fraction,
          config.constant_residency_fraction, config.constant_share,
-         config.temporal_streaming),
+         config.temporal_streaming, config.max_search_seconds,
+         config.max_search_nodes),
         n_split,
     )
     hit = _SCHED_CACHE.get(key)
@@ -161,7 +189,7 @@ def _evaluate_once(
     options = _workload_options(point, params, r_hyb, decompose_ntt)
     workload = WORKLOAD_BUILDERS[workload_name](params, options)
     hw = _cluster_hw(point.hw, clusters)
-    base_config = scheduler_config or SchedulerConfig()
+    base_config = scheduler_config or default_scheduler_config()
     config = replace(base_config, constant_share=clusters)
     residency = base_config.keep_fraction
     engine = SimulationEngine(
@@ -175,12 +203,17 @@ def _evaluate_once(
     util_weighted = {"pe": 0.0, "noc": 0.0, "sram": 0.0, "dram": 0.0}
     segment_seconds: Dict[str, float] = {}
 
+    degraded = False
     for segment in workload.segments:
         cached = _schedule_segment(
             segment.graph, hw, point.dataflow, config, options.ntt_split
         )
+        degraded = degraded or cached.degraded
         # Shallow copy: segment repeat counts differ across workloads.
-        schedule = Schedule(steps=cached.steps, repeat=segment.repeat)
+        schedule = Schedule(
+            steps=cached.steps, repeat=segment.repeat,
+            degraded=cached.degraded, degraded_reason=cached.degraded_reason,
+        )
         result = engine.run(schedule)
         total_seconds += result.total_seconds
         total_groups += result.num_groups
@@ -213,6 +246,7 @@ def _evaluate_once(
         traffic=traffic,
         num_groups=total_groups,
         segment_seconds=segment_seconds,
+        degraded=degraded,
     )
 
 
@@ -254,16 +288,29 @@ def evaluate_workload(
         point.dataflow == "crophe" and point.use_ntt_decomposition
     ) else (False,)
     cluster_options = [c for c in (1, 2, 4) if c <= point.clusters]
+    last_error: Optional[InfeasibleScheduleError] = None
     for variant_point, r_hyb in variants:
         for decompose in splits:
             for clusters in cluster_options:
-                result = _evaluate_once(
-                    variant_point, workload_name, params, r_hyb, decompose,
-                    clusters, scheduler_config,
-                )
+                try:
+                    result = _evaluate_once(
+                        variant_point, workload_name, params, r_hyb,
+                        decompose, clusters, scheduler_config,
+                    )
+                except InfeasibleScheduleError as exc:
+                    # One infeasible variant is survivable as long as
+                    # some other (r_hyb, split, cluster) choice works.
+                    last_error = exc
+                    continue
                 if best is None or result.seconds < best.seconds:
                     best = result
-    assert best is not None
+    if best is None:
+        if last_error is not None:
+            raise last_error
+        raise InfeasibleScheduleError(
+            f"no evaluated variant produced a schedule for "
+            f"{point.label} on {workload_name}"
+        )
     if use_cache:
         _CACHE[key] = best
     return best

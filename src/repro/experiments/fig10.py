@@ -44,8 +44,13 @@ def fig10(
     baselines: Sequence[str] = ("ARK", "SHARP"),
     workloads: Sequence[str] = ("bootstrapping", "helr", "resnet20", "resnet110"),
     sram_points: Dict[str, Tuple[float, ...]] = None,
+    scheduler_config=None,
 ) -> List[Fig10Cell]:
-    """Regenerate the Figure 10 SRAM sweep series."""
+    """Regenerate the Figure 10 SRAM sweep series.
+
+    ``scheduler_config`` optionally carries search-budget knobs for
+    every schedule search in the sweep.
+    """
     sram_points = sram_points or SRAM_POINTS
     cells: List[Fig10Cell] = []
     for baseline_name in baselines:
@@ -64,9 +69,15 @@ def fig10(
                 "CROPHE-p", crophe_hw.with_sram_mb(sram), clusters=4
             )
             for workload in workloads:
-                rb = evaluate_workload(b, workload, params)
-                rc = evaluate_workload(c, workload, params)
-                rp = evaluate_workload(p, workload, params)
+                rb = evaluate_workload(
+                    b, workload, params, scheduler_config=scheduler_config
+                )
+                rc = evaluate_workload(
+                    c, workload, params, scheduler_config=scheduler_config
+                )
+                rp = evaluate_workload(
+                    p, workload, params, scheduler_config=scheduler_config
+                )
                 cells.append(
                     Fig10Cell(
                         baseline=baseline_name,

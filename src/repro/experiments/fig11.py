@@ -65,8 +65,13 @@ def _ladder_points(crophe_hw, sram: float) -> Dict[str, DesignPoint]:
 def fig11(
     pairings: Sequence[str] = ("ARK", "SHARP"),
     workload: str = "bootstrapping",
+    scheduler_config=None,
 ) -> List[Fig11Point]:
-    """Regenerate the Figure 11 ablation ladder."""
+    """Regenerate the Figure 11 ablation ladder.
+
+    ``scheduler_config`` optionally carries search-budget knobs for
+    every schedule search in the ladder.
+    """
     out: List[Fig11Point] = []
     for baseline_name in pairings:
         params = parameter_set(baseline_name)
@@ -75,11 +80,13 @@ def fig11(
         crophe_hw = paired_crophe(baseline_name)
         base = evaluate_workload(
             DesignPoint(f"{baseline_name}+MAD", base_hw, dataflow="mad"),
-            workload, params,
+            workload, params, scheduler_config=scheduler_config,
         )
         label = f"{crophe_hw.word_bits}-bit (vs {baseline_name})"
         for variant, point in _ladder_points(crophe_hw, sram).items():
-            r = evaluate_workload(point, workload, params)
+            r = evaluate_workload(
+                point, workload, params, scheduler_config=scheduler_config
+            )
             out.append(
                 Fig11Point(
                     config=label,

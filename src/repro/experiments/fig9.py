@@ -58,15 +58,24 @@ def design_points(baseline_name: str) -> List[DesignPoint]:
 def fig9(
     baselines: Sequence[str] = ("BTS", "ARK", "SHARP", "CL+"),
     workloads: Sequence[str] = WORKLOADS,
+    scheduler_config=None,
 ) -> List[Fig9Cell]:
-    """Regenerate the Figure 9 series (restrict args for quick runs)."""
+    """Regenerate the Figure 9 series (restrict args for quick runs).
+
+    ``scheduler_config`` optionally carries search-budget knobs; the
+    default picks budgets up from the environment (see
+    :func:`repro.experiments.common.default_scheduler_config`).
+    """
     cells: List[Fig9Cell] = []
     for baseline_name in baselines:
         params = parameter_set(PAIRING_PARAMS[baseline_name])
         points = design_points(baseline_name)
         for workload in workloads:
             results = [
-                evaluate_workload(p, workload, params) for p in points
+                evaluate_workload(
+                    p, workload, params, scheduler_config=scheduler_config
+                )
+                for p in points
             ]
             base_seconds = results[0].seconds
             for point, result in zip(points, results):

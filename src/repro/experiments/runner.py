@@ -1,38 +1,101 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner, hardened for unattended runs.
 
 Regenerates any (or all) of the paper's tables and figures::
 
     python -m repro.experiments.runner table2
     python -m repro.experiments.runner fig9 --quick
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner all --quick --timeout 300
 
 ``--quick`` restricts the expensive figures to one baseline pairing and
 two workloads, which finishes in a couple of minutes.
+
+Resilience (each table/figure is one *cell*):
+
+* every cell runs in a forked subprocess, so a crash or runaway search
+  in one cell cannot take down the rest of the run;
+* ``--timeout SECONDS`` bounds each cell's wall-clock; a timed-out cell
+  is terminated, retried once, and then reported — the run continues;
+* transient failures (timeouts, crashes, unclassified exceptions) are
+  retried once; structured failures (config/budget/infeasible/
+  simulation) are deterministic and fail immediately;
+* partial results stream into a resumable JSON artifact
+  (``--artifact``, default ``experiments_artifact.json``) rewritten
+  atomically after every cell; ``--resume`` skips cells the artifact
+  already records as succeeded;
+* the process exits with a per-cell status report and a class-coded
+  exit status: 0 = all cells ok, 2 = a config error, 3 = a search
+  budget was exceeded (with fallback disabled), 4 = a simulation
+  error, 1 = any other failure;
+* ``--search-seconds`` / ``--search-nodes`` bound every DP schedule
+  search inside the cells (exported as ``REPRO_MAX_SEARCH_SECONDS`` /
+  ``REPRO_MAX_SEARCH_NODES``); exhausted budgets degrade to the greedy
+  fallback scheduler instead of hanging.
+
+``REPRO_FORCE_FAIL`` (comma-separated cell names) makes the named cells
+raise a :class:`~repro.resilience.errors.SimulationError` — a test hook
+for exercising the failure paths end-to-end.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro.resilience.errors import SimulationError
+from repro.resilience.isolation import (
+    CellStatus,
+    RunArtifact,
+    classify_error,
+    run_isolated,
+)
 
-def run_table1() -> str:
+#: Exit codes by failure class (CI and scripts branch on these).
+EXIT_OK = 0
+EXIT_OTHER = 1
+EXIT_CONFIG = 2
+EXIT_BUDGET = 3
+EXIT_SIMULATION = 4
+
+_KIND_TO_EXIT = {
+    "config": EXIT_CONFIG,
+    "budget": EXIT_BUDGET,
+    "simulation": EXIT_SIMULATION,
+    "infeasible": EXIT_OTHER,
+    "error": EXIT_OTHER,
+    "crash": EXIT_OTHER,
+}
+
+
+def _maybe_force_fail(name: str) -> None:
+    """Test hook: fail the named cell when REPRO_FORCE_FAIL asks for it."""
+    forced = os.environ.get("REPRO_FORCE_FAIL", "")
+    if name in {c.strip() for c in forced.split(",") if c.strip()}:
+        raise SimulationError(
+            f"cell {name!r} forced to fail via REPRO_FORCE_FAIL"
+        )
+
+
+def run_table1(quick: bool = False) -> str:
     """Regenerate Table I."""
+    _maybe_force_fail("table1")
     from repro.experiments.table1 import format_table1
 
     return format_table1()
 
 
-def run_table2() -> str:
+def run_table2(quick: bool = False) -> str:
     """Regenerate Table II."""
+    _maybe_force_fail("table2")
     from repro.experiments.table2 import format_table2
 
     return format_table2()
 
 
-def run_table3() -> str:
+def run_table3(quick: bool = False) -> str:
     """Regenerate Table III."""
+    _maybe_force_fail("table3")
     from repro.experiments.table3 import format_table3
 
     return format_table3()
@@ -40,6 +103,7 @@ def run_table3() -> str:
 
 def run_table4(quick: bool = False) -> str:
     """Regenerate Table IV (always full: it is cheap)."""
+    _maybe_force_fail("table4")
     from repro.experiments.table4 import format_table4, table4
 
     return format_table4(table4())
@@ -47,6 +111,7 @@ def run_table4(quick: bool = False) -> str:
 
 def run_fig9(quick: bool = False) -> str:
     """Regenerate Figure 9 (``quick`` restricts the sweep)."""
+    _maybe_force_fail("fig9")
     from repro.experiments.fig9 import fig9, format_fig9
 
     if quick:
@@ -58,6 +123,7 @@ def run_fig9(quick: bool = False) -> str:
 
 def run_fig10(quick: bool = False) -> str:
     """Regenerate Figure 10 (``quick`` restricts the sweep)."""
+    _maybe_force_fail("fig10")
     from repro.experiments.fig10 import fig10, format_fig10
 
     if quick:
@@ -69,6 +135,7 @@ def run_fig10(quick: bool = False) -> str:
 
 def run_fig11(quick: bool = False) -> str:
     """Regenerate Figure 11 (``quick`` restricts the pairings)."""
+    _maybe_force_fail("fig11")
     from repro.experiments.fig11 import fig11, format_fig11
 
     pairings = ("SHARP",) if quick else ("ARK", "SHARP")
@@ -86,8 +153,31 @@ EXPERIMENTS = {
 }
 
 
+def _print_report(statuses) -> None:
+    """Render the per-cell status table on stdout."""
+    print("==== run report ====")
+    print(f"{'cell':10s}{'status':10s}{'attempts':>9s}{'seconds':>9s}  error")
+    for s in statuses:
+        error = f"[{s.error_kind}] {s.error}" if s.error else ""
+        print(
+            f"{s.name:10s}{s.status:10s}{s.attempts:9d}{s.seconds:9.1f}  "
+            f"{error}"
+        )
+
+
+def _exit_code(statuses) -> int:
+    """Worst failure class across cells, by branch-priority order."""
+    failed_kinds = {
+        s.error_kind for s in statuses if not s.ok
+    }
+    for kind in ("config", "budget", "simulation"):
+        if kind in failed_kinds:
+            return _KIND_TO_EXIT[kind]
+    return EXIT_OTHER if failed_kinds else EXIT_OK
+
+
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a class-coded process exit status."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "experiment",
@@ -98,22 +188,94 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="restrict the expensive figures to a small subset",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock limit (timed-out cells are retried "
+             "once, then reported; the run continues)",
+    )
+    parser.add_argument(
+        "--artifact", default="experiments_artifact.json", metavar="PATH",
+        help="resumable JSON artifact, rewritten after every cell",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells the artifact already records as succeeded",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts for transient failures (default 1)",
+    )
+    parser.add_argument(
+        "--no-isolation", action="store_true",
+        help="run cells in-process (no subprocess, no timeout) — "
+             "mainly for debugging with pdb",
+    )
+    parser.add_argument(
+        "--search-seconds", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per DP schedule search inside cells",
+    )
+    parser.add_argument(
+        "--search-nodes", type=int, default=None, metavar="N",
+        help="node budget per DP schedule search inside cells",
+    )
     args = parser.parse_args(argv)
+    if args.search_seconds is not None:
+        os.environ["REPRO_MAX_SEARCH_SECONDS"] = str(args.search_seconds)
+    if args.search_nodes is not None:
+        os.environ["REPRO_MAX_SEARCH_NODES"] = str(args.search_nodes)
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    artifact = (
+        RunArtifact.load(args.artifact) if args.resume
+        else RunArtifact(path=args.artifact)
+    )
+    statuses = []
     for name in names:
-        fn = EXPERIMENTS[name]
-        start = time.time()
         print(f"==== {name} ====")
-        try:
-            if name.startswith("fig") or name == "table4":
-                print(fn(quick=args.quick))
-            else:
-                print(fn())
-        except Exception as exc:  # pragma: no cover - CLI convenience
-            print(f"{name} failed: {exc}", file=sys.stderr)
-            return 1
-        print(f"({time.time() - start:.1f}s)\n")
-    return 0
+        if args.resume and artifact.completed(name):
+            prior = artifact.cells[name]
+            status = CellStatus(
+                name=name, status="skipped", seconds=0.0,
+                attempts=prior.attempts, output=prior.output,
+            )
+            print(prior.output)
+            print("(skipped: already completed in artifact)\n")
+            statuses.append(status)
+            continue
+        fn = EXPERIMENTS[name]
+        if args.no_isolation:
+            start = time.time()
+            try:
+                output = fn(quick=args.quick)
+                status = CellStatus(
+                    name=name, status="ok", attempts=1,
+                    seconds=time.time() - start, output=output,
+                )
+            except Exception as exc:
+                status = CellStatus(
+                    name=name, status="failed", attempts=1,
+                    seconds=time.time() - start,
+                    error_kind=classify_error(exc), error=str(exc),
+                )
+        else:
+            status = run_isolated(
+                name, fn, kwargs={"quick": args.quick},
+                timeout=args.timeout, retries=max(args.retries, 0),
+            )
+        if status.status == "ok":
+            print(status.output)
+        else:
+            print(
+                f"{name} {status.status} after {status.attempts} "
+                f"attempt(s): [{status.error_kind}] {status.error}",
+                file=sys.stderr,
+            )
+        print(f"({status.seconds:.1f}s)\n")
+        artifact.record(status)
+        statuses.append(status)
+    _print_report(statuses)
+    print(f"artifact: {artifact.path}")
+    return _exit_code(statuses)
 
 
 if __name__ == "__main__":

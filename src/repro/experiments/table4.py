@@ -25,8 +25,12 @@ class Table4Row:
     dram_bw: float
 
 
-def table4(workload: str = "resnet20") -> List[Table4Row]:
-    """Regenerate the Table IV utilization rows."""
+def table4(workload: str = "resnet20", scheduler_config=None) -> List[Table4Row]:
+    """Regenerate the Table IV utilization rows.
+
+    ``scheduler_config`` optionally carries search-budget knobs for
+    every schedule search behind the rows.
+    """
     rows: List[Table4Row] = []
     for baseline_name in ("ARK", "SHARP"):
         params = parameter_set(baseline_name)
@@ -40,7 +44,9 @@ def table4(workload: str = "resnet20") -> List[Table4Row]:
             (DesignPoint(f"CROPHE-p-{suffix}", crophe_hw, clusters=4), True),
         ]
         for point, show_noc in points:
-            r = evaluate_workload(point, workload, params)
+            r = evaluate_workload(
+                point, workload, params, scheduler_config=scheduler_config
+            )
             rows.append(
                 Table4Row(
                     design=point.label,

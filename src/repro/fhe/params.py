@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
+from repro.resilience.errors import ConfigError
+
 
 def is_prime(n: int) -> bool:
     """Deterministic Miller-Rabin for 64-bit integers."""
@@ -124,21 +126,49 @@ class CKKSParams:
     name: str = ""
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject inconsistent CKKS parameters at construction time.
+
+        Raises:
+            ConfigError: naming the offending field.
+        """
         if self.log_n < 2 or self.log_n > 20:
-            raise ValueError(f"log_n out of range: {self.log_n}")
+            raise ConfigError(
+                "log_n", self.log_n, "ring degree exponent out of [2, 20]"
+            )
         if self.max_level < 0:
-            raise ValueError("max_level must be >= 0")
-        if self.alpha < 1 or self.dnum < 1:
-            raise ValueError("alpha and dnum must be >= 1")
+            raise ConfigError("max_level", self.max_level, "must be >= 0")
+        if self.alpha < 1:
+            raise ConfigError("alpha", self.alpha, "must be >= 1")
+        if self.dnum < 1:
+            raise ConfigError("dnum", self.dnum, "must be >= 1")
+        if self.word_bits < 1:
+            raise ConfigError("word_bits", self.word_bits, "must be >= 1")
+        if self.scale_bits < 1:
+            raise ConfigError("scale_bits", self.scale_bits, "must be >= 1")
+        if self.boot_levels < 0 or self.boot_levels > self.max_level:
+            raise ConfigError(
+                "boot_levels", self.boot_levels,
+                f"must lie in [0, max_level={self.max_level}]",
+            )
         if self.dnum * self.alpha < self.max_level + 1:
-            raise ValueError(
+            raise ConfigError(
+                "dnum", self.dnum,
                 f"dnum*alpha={self.dnum * self.alpha} cannot cover "
-                f"L+1={self.max_level + 1} limbs"
+                f"L+1={self.max_level + 1} limbs",
             )
         if self.moduli and len(self.moduli) != self.max_level + 1:
-            raise ValueError("need exactly L+1 ciphertext moduli")
+            raise ConfigError(
+                "moduli", len(self.moduli),
+                f"need exactly L+1={self.max_level + 1} ciphertext moduli",
+            )
         if self.moduli and len(self.special_moduli) != self.alpha:
-            raise ValueError("need exactly alpha special moduli")
+            raise ConfigError(
+                "special_moduli", len(self.special_moduli),
+                f"need exactly alpha={self.alpha} special moduli",
+            )
 
     @property
     def n(self) -> int:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from repro.resilience.errors import ConfigError
+
 TB = 1e12
 MB = 1 << 20
 
@@ -30,9 +32,25 @@ class FunctionalUnitMix:
     automorphism: float
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject mixes that are not a partition of the compute.
+
+        Raises:
+            ConfigError: naming the offending fraction.
+        """
+        for name in ("ntt", "elementwise", "bconv", "automorphism"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    name, value, "FU fraction must lie in [0, 1]"
+                )
         total = self.ntt + self.elementwise + self.bconv + self.automorphism
         if abs(total - 1.0) > 1e-6:
-            raise ValueError(f"FU fractions must sum to 1, got {total}")
+            raise ConfigError(
+                "fu_mix", total, "FU fractions must sum to 1"
+            )
 
 
 @dataclass(frozen=True)
@@ -72,6 +90,48 @@ class HardwareConfig:
     fu_mix: Optional[FunctionalUnitMix] = None
     area_mm2: float = 0.0
     power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject non-physical configurations at construction time.
+
+        Raises:
+            ConfigError: naming the offending field (e.g. a negative
+                SRAM capacity or a zero-lane PE).
+        """
+        positive = (
+            ("word_bits", self.word_bits),
+            ("frequency_ghz", self.frequency_ghz),
+            ("lanes_per_pe", self.lanes_per_pe),
+            ("num_pes", self.num_pes),
+            ("dram_bandwidth_tbs", self.dram_bandwidth_tbs),
+            ("sram_bandwidth_tbs", self.sram_bandwidth_tbs),
+            ("sram_capacity_mb", self.sram_capacity_mb),
+            ("noc_link_bytes_per_cycle", self.noc_link_bytes_per_cycle),
+            ("transpose_unit_mb", self.transpose_unit_mb),
+        )
+        for name, value in positive:
+            if value <= 0:
+                raise ConfigError(name, value, "must be positive")
+        if self.register_file_kb < 0:
+            raise ConfigError(
+                "register_file_kb", self.register_file_kb,
+                "must be non-negative",
+            )
+        if self.mesh_dims is not None:
+            rows, cols = self.mesh_dims
+            if rows < 1 or cols < 1:
+                raise ConfigError(
+                    "mesh_dims", self.mesh_dims,
+                    "mesh dimensions must be >= 1",
+                )
+            if rows * cols < self.num_pes:
+                raise ConfigError(
+                    "mesh_dims", self.mesh_dims,
+                    f"a {rows}x{cols} mesh cannot seat {self.num_pes} PEs",
+                )
 
     @property
     def is_homogeneous(self) -> bool:

@@ -1,0 +1,42 @@
+"""Resilience machinery: typed errors, search budgets, checkpoints.
+
+The scheduler's exhaustive search and the experiment harness both need
+to fail *well*: invalid knobs are rejected at construction time with the
+offending field named, searches run under wall-clock/node budgets and
+degrade to a deterministic greedy fallback instead of hanging, partial
+DP results checkpoint to disk so an interrupted search resumes, and
+experiment cells run crash-isolated with per-cell status reporting.
+
+Public surface:
+
+* :mod:`repro.resilience.errors` — the ``ReproError`` hierarchy.
+* :mod:`repro.resilience.budget` — ``SearchBudget`` / ``BudgetMeter``.
+* :mod:`repro.resilience.checkpoint` — resumable DP search covers.
+* :mod:`repro.resilience.isolation` — crash-isolated cell execution
+  and the resumable experiment artifact.
+"""
+
+from repro.resilience.budget import BudgetMeter, SearchBudget
+from repro.resilience.checkpoint import SearchCheckpoint
+from repro.resilience.errors import (
+    ConfigError,
+    InfeasibleScheduleError,
+    ReproError,
+    SearchBudgetExceeded,
+    SimulationError,
+)
+from repro.resilience.isolation import CellStatus, RunArtifact, run_isolated
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "InfeasibleScheduleError",
+    "SearchBudgetExceeded",
+    "SimulationError",
+    "SearchBudget",
+    "BudgetMeter",
+    "SearchCheckpoint",
+    "CellStatus",
+    "RunArtifact",
+    "run_isolated",
+]

@@ -1,0 +1,95 @@
+"""Search budgets: wall-clock and node-count limits for the DP search.
+
+The paper runs its exhaustive search for up to 100 CPU-hours offline;
+a serving system cannot. A :class:`SearchBudget` bounds a search along
+two axes (elapsed seconds and DP transitions evaluated) and a
+:class:`BudgetMeter` is the cheap per-transition accountant threaded
+through the scheduler's inner loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.resilience.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Limits for one schedule search; ``None`` means unlimited.
+
+    Attributes:
+        max_seconds: wall-clock ceiling for the DP enumeration.
+        max_nodes: ceiling on DP transitions (window evaluations).
+    """
+
+    max_seconds: Optional[float] = None
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ConfigError(
+                "max_seconds", self.max_seconds, "budget must be positive"
+            )
+        if self.max_nodes is not None and self.max_nodes <= 0:
+            raise ConfigError(
+                "max_nodes", self.max_nodes, "budget must be positive"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether neither axis is bounded."""
+        return self.max_seconds is None and self.max_nodes is None
+
+
+class BudgetMeter:
+    """Per-search accountant for a :class:`SearchBudget`.
+
+    ``charge()`` is called once per DP transition; ``exceeded`` reports
+    whether either limit has been hit. Wall-clock is re-read at most
+    once every ``check_interval`` charges to keep the inner loop cheap.
+    """
+
+    def __init__(self, budget: SearchBudget, check_interval: int = 32):
+        self.budget = budget
+        self.nodes = 0
+        self.started = time.monotonic()
+        self._interval = max(1, check_interval)
+        self._exceeded = False
+
+    def charge(self, nodes: int = 1) -> None:
+        """Account for ``nodes`` DP transitions."""
+        self.nodes += nodes
+        if self._exceeded or self.budget.unlimited:
+            return
+        b = self.budget
+        if b.max_nodes is not None and self.nodes > b.max_nodes:
+            self._exceeded = True
+            return
+        if b.max_seconds is not None and self.nodes % self._interval == 0:
+            if self.elapsed > b.max_seconds:
+                self._exceeded = True
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the meter started."""
+        return time.monotonic() - self.started
+
+    @property
+    def exceeded(self) -> bool:
+        """Whether either budget axis has been exhausted."""
+        if not self._exceeded and self.budget.max_seconds is not None:
+            # Callers polling between charges still see timeouts.
+            if self.elapsed > self.budget.max_seconds:
+                self._exceeded = True
+        return self._exceeded
+
+    def describe(self) -> str:
+        """One-line spend summary for degradation tags and errors."""
+        b = self.budget
+        return (
+            f"{self.elapsed:.3f}s/{b.max_seconds}s wall, "
+            f"{self.nodes}/{b.max_nodes} nodes"
+        )

@@ -1,0 +1,102 @@
+"""Checkpoint/resume for the DP schedule search.
+
+The DP walks outer positions ``i = 0..n-1`` of the topological order,
+extending the best-known cover at each reachable position ``j`` with
+candidate windows ``(i, size)``. A checkpoint records, per reached DP
+index, the *window cover* of its best state — the ``(start, size)``
+sequence — plus the outer position to resume from. Covers are stored by
+topological position rather than operator identity, so a checkpoint
+written by one process resumes cleanly in another (operator uids are
+per-process); a structural fingerprint of (graph, hardware, knobs)
+guards against resuming onto a different problem.
+
+On resume the scheduler replays each stored cover through its (fully
+deterministic) transition function to rebuild the DP states, then
+continues the outer loop from ``next_i`` — reproducing the exact
+schedule an uninterrupted run would have found.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_FORMAT_VERSION = 1
+
+
+def search_fingerprint(*parts: object) -> str:
+    """Structural hash of (graph signature, hardware, config) parts."""
+    blob = repr(parts).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+@dataclass
+class SearchCheckpoint:
+    """Serialized best covers of a partially completed DP search.
+
+    Attributes:
+        fingerprint: structural hash the checkpoint is valid for.
+        next_i: outer topological position the search resumes from.
+        covers: DP index -> window cover ``[(start, size), ...]`` of
+            the best state known for that index.
+    """
+
+    fingerprint: str
+    next_i: int = 0
+    covers: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def save(self, path: str) -> None:
+        """Atomically write the checkpoint as JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "next_i": self.next_i,
+            "covers": {
+                str(j): [list(w) for w in windows]
+                for j, windows in self.covers.items()
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @staticmethod
+    def load(path: str, fingerprint: str) -> Optional["SearchCheckpoint"]:
+        """Load a checkpoint if it exists and matches ``fingerprint``.
+
+        Returns ``None`` for a missing, corrupt, stale-format, or
+        mismatched checkpoint — resuming is best-effort and a bad file
+        must never poison a fresh search.
+        """
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != _FORMAT_VERSION:
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        try:
+            covers = {
+                int(j): [(int(a), int(b)) for a, b in windows]
+                for j, windows in payload["covers"].items()
+            }
+            next_i = int(payload["next_i"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return SearchCheckpoint(
+            fingerprint=fingerprint, next_i=next_i, covers=covers
+        )

@@ -1,0 +1,134 @@
+"""The structured exception hierarchy.
+
+Every failure the stack can produce maps onto one of four classes under
+:class:`ReproError`, each carrying a diagnostic payload so callers (the
+experiment runner, CI scripts, a serving frontend) can branch on the
+failure class and report something actionable instead of a bare
+``RuntimeError``:
+
+* :class:`ConfigError` — a knob rejected at construction time; names
+  the offending field and value.
+* :class:`InfeasibleScheduleError` — no valid cover exists (even the
+  greedy fallback could not place an operator); carries the blocking
+  operator and the partial cover built so far.
+* :class:`SearchBudgetExceeded` — the DP search ran out of wall-clock
+  or node budget with graceful degradation disabled; carries the
+  budget, the spend, and the best-so-far frontier.
+* :class:`SimulationError` — the simulator produced or was handed
+  something non-physical (non-finite time, a broken step).
+
+``ConfigError`` additionally subclasses :class:`ValueError` and
+``InfeasibleScheduleError`` subclasses :class:`RuntimeError` so
+pre-existing callers that catch the builtin types keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReproError(Exception):
+    """Base class for every structured failure in the repro stack."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration knob, rejected at construction time.
+
+    Attributes:
+        field: name of the offending knob (e.g. ``"sram_capacity_mb"``).
+        value: the rejected value.
+    """
+
+    def __init__(self, field: str, value: Any, message: str):
+        self.field = field
+        self.value = value
+        super().__init__(f"invalid {field}={value!r}: {message}")
+
+
+class InfeasibleScheduleError(ReproError, RuntimeError):
+    """No feasible schedule exists, even for the greedy fallback.
+
+    Attributes:
+        operator: name of the operator that could not be placed (or
+            ``None`` when the whole DP found no cover).
+        position: topological position of the blocking operator.
+        partial_steps: number of steps scheduled before the failure.
+        detail: human-readable diagnosis (which resource was exceeded).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        operator: Optional[str] = None,
+        position: int = -1,
+        partial_steps: int = 0,
+        detail: str = "",
+    ):
+        self.operator = operator
+        self.position = position
+        self.partial_steps = partial_steps
+        self.detail = detail
+        parts = [message]
+        if operator is not None:
+            parts.append(f"operator={operator!r} at position {position}")
+        if partial_steps:
+            parts.append(f"{partial_steps} steps scheduled before failure")
+        if detail:
+            parts.append(detail)
+        super().__init__("; ".join(parts))
+
+
+class SearchBudgetExceeded(ReproError):
+    """The schedule search exhausted its budget without degradation.
+
+    Only raised when graceful degradation is disabled
+    (``SchedulerConfig.fallback_on_budget=False``); otherwise the
+    scheduler silently switches to the greedy fallback and tags the
+    result ``degraded=True``.
+
+    Attributes:
+        elapsed_seconds: wall-clock time spent in the search.
+        nodes_explored: DP transitions evaluated.
+        budget_seconds / budget_nodes: the limits that were hit.
+        frontier: furthest topological position with a known cover —
+            the best-so-far partial result.
+    """
+
+    def __init__(
+        self,
+        elapsed_seconds: float,
+        nodes_explored: int,
+        budget_seconds: Optional[float],
+        budget_nodes: Optional[int],
+        frontier: int = 0,
+    ):
+        self.elapsed_seconds = elapsed_seconds
+        self.nodes_explored = nodes_explored
+        self.budget_seconds = budget_seconds
+        self.budget_nodes = budget_nodes
+        self.frontier = frontier
+        super().__init__(
+            f"search budget exceeded after {elapsed_seconds:.3f}s / "
+            f"{nodes_explored} nodes (limits: "
+            f"{budget_seconds}s / {budget_nodes} nodes); "
+            f"best cover reaches position {frontier}"
+        )
+
+
+class SimulationError(ReproError):
+    """The simulator was handed or produced something non-physical.
+
+    Attributes:
+        group_index: index of the scheduled group that failed, or -1.
+        detail: what went wrong (non-finite latency, broken mapping).
+    """
+
+    def __init__(self, message: str, group_index: int = -1, detail: str = ""):
+        self.group_index = group_index
+        self.detail = detail
+        parts = [message]
+        if group_index >= 0:
+            parts.append(f"group {group_index}")
+        if detail:
+            parts.append(detail)
+        super().__init__("; ".join(parts))

@@ -371,10 +371,18 @@ class ScheduledStep:
 
 @dataclass
 class Schedule:
-    """A complete schedule: ordered steps plus aggregate accounting."""
+    """A complete schedule: ordered steps plus aggregate accounting.
+
+    ``degraded`` marks schedules produced by the greedy fallback (search
+    budget exhausted or DP infeasible); ``degraded_reason`` records why.
+    A degraded schedule is still valid — every step priced by the same
+    transition machinery — just not search-optimal.
+    """
 
     steps: List[ScheduledStep] = field(default_factory=list)
     repeat: int = 1
+    degraded: bool = False
+    degraded_reason: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -403,3 +411,6 @@ class Schedule:
         factor = other.repeat
         for _ in range(factor):
             self.steps.extend(other.steps)
+        if other.degraded and not self.degraded:
+            self.degraded = True
+            self.degraded_reason = other.degraded_reason

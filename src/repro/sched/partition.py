@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.ir.graph import OperatorGraph
 from repro.ir.operators import Operator
+from repro.resilience.errors import ConfigError
 
 #: The paper's empirical segment-size limit.
 DEFAULT_SEGMENT_LIMIT = 25
@@ -65,7 +66,13 @@ def partition_graph(
     forward-only dependencies (the constraint of [41]).
     """
     if limit < 1:
-        raise ValueError("segment limit must be >= 1")
+        raise ConfigError(
+            "limit", limit, "segments must hold at least one operator"
+        )
+    if cut_window < 0:
+        raise ConfigError(
+            "cut_window", cut_window, "the cut window cannot be negative"
+        )
     order = graph.operators_topological()
     partitions: List[GraphPartition] = []
     start = 0

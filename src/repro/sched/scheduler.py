@@ -17,6 +17,15 @@ The paper searches all subgraphs of a pre-partitioned graph exhaustively
 (100 CPU-hours for ResNet-20); contiguous-window DP with memoization is
 the tractable restriction we ship, with the window size and split
 candidates exposed as knobs.
+
+Resilience (see :mod:`repro.resilience`): knobs are validated at
+construction time, the DP runs under optional wall-clock/node budgets,
+and on budget exhaustion or an infeasible cover the scheduler degrades
+to a deterministic greedy fallback (MAD-style fusion windows) instead of
+hanging or dying — the result is tagged ``degraded=True`` with the
+reason. A checkpoint path makes the DP search resumable: per-window
+best covers are serialized so an interrupted search continues instead
+of restarting.
 """
 
 from __future__ import annotations
@@ -29,7 +38,17 @@ from repro.hw.config import HardwareConfig
 from repro.ir.graph import OperatorGraph
 from repro.ir.loops import power_of_two_splits
 from repro.ir.operators import Operator
+from repro.resilience.budget import BudgetMeter, SearchBudget
+from repro.resilience.checkpoint import SearchCheckpoint, search_fingerprint
+from repro.resilience.errors import (
+    ConfigError,
+    InfeasibleScheduleError,
+    SearchBudgetExceeded,
+)
 from repro.sched.dataflow import Schedule, ScheduledStep, SpatialGroupPlan
+
+#: Fusion depth of the greedy fallback scheduler (MAD-style windows).
+GREEDY_FALLBACK_WINDOW = 4
 
 
 @dataclass(frozen=True)
@@ -67,6 +86,94 @@ class SchedulerConfig:
     #: granule, before a streamable consumer must arrive (the depth of a
     #: temporal pipelining group).  1 = adjacent groups only.
     stream_window: int = 6
+    #: Wall-clock budget for one DP search (None = unbounded).
+    max_search_seconds: Optional[float] = None
+    #: DP-transition budget for one search (None = unbounded).
+    max_search_nodes: Optional[int] = None
+    #: On budget exhaustion, degrade to the greedy fallback (True) or
+    #: raise :class:`SearchBudgetExceeded` (False).
+    fallback_on_budget: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical knob values with the field named.
+
+        Raises:
+            ConfigError: naming the offending field.
+        """
+        if not isinstance(self.max_group_size, int) or self.max_group_size < 1:
+            raise ConfigError(
+                "max_group_size", self.max_group_size,
+                "spatial groups need at least one operator",
+            )
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ConfigError(
+                "keep_fraction", self.keep_fraction,
+                "must lie in (0, 1] — a fraction of the SRAM capacity",
+            )
+        if not 0.0 <= self.constant_residency_fraction <= 1.0:
+            raise ConfigError(
+                "constant_residency_fraction",
+                self.constant_residency_fraction,
+                "must lie in [0, 1] — a fraction of the SRAM capacity",
+            )
+        if (
+            not isinstance(self.min_ntt_tile, int)
+            or self.min_ntt_tile < 2
+            or self.min_ntt_tile & (self.min_ntt_tile - 1)
+        ):
+            raise ConfigError(
+                "min_ntt_tile", self.min_ntt_tile,
+                "four-step NTT tiles must be a power of two >= 2",
+            )
+        if not isinstance(self.constant_share, int) or self.constant_share < 1:
+            raise ConfigError(
+                "constant_share", self.constant_share,
+                "at least one cluster must consume each constant fetch",
+            )
+        if not isinstance(self.stream_window, int) or self.stream_window < 1:
+            raise ConfigError(
+                "stream_window", self.stream_window,
+                "a deferred tensor must be allowed to wait >= 1 group",
+            )
+        if self.max_search_seconds is not None and self.max_search_seconds <= 0:
+            raise ConfigError(
+                "max_search_seconds", self.max_search_seconds,
+                "the wall-clock budget must be positive (or None)",
+            )
+        if self.max_search_nodes is not None and self.max_search_nodes < 1:
+            raise ConfigError(
+                "max_search_nodes", self.max_search_nodes,
+                "the node budget must be >= 1 (or None)",
+            )
+
+    def validate_for_hardware(self, hw: HardwareConfig) -> None:
+        """Cross-check knobs against one hardware configuration.
+
+        Only meaningful for searches that decompose NTTs (the scheduler
+        applies it when an ``n_split`` is in play); baseline models with
+        monolithic NTTs never tile and are exempt.
+
+        Raises:
+            ConfigError: when the smallest decomposed-NTT tile cannot
+                fill the PE vector lanes (Section V-D's constraint).
+        """
+        if self.min_ntt_tile * self.min_ntt_tile < hw.lanes_per_pe:
+            raise ConfigError(
+                "min_ntt_tile", self.min_ntt_tile,
+                f"{self.min_ntt_tile}x{self.min_ntt_tile} tiles cannot "
+                f"fill the {hw.lanes_per_pe} vector lanes of one "
+                f"{hw.name} PE",
+            )
+
+    def budget(self) -> SearchBudget:
+        """The search budget these knobs describe."""
+        return SearchBudget(
+            max_seconds=self.max_search_seconds,
+            max_nodes=self.max_search_nodes,
+        )
 
 
 @dataclass
@@ -107,11 +214,15 @@ class Scheduler:
         hw: HardwareConfig,
         config: Optional[SchedulerConfig] = None,
         n_split: Optional[Tuple[int, int]] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         self.graph = graph
         self.hw = hw
         self.config = config or SchedulerConfig()
+        if n_split is not None:
+            self.config.validate_for_hardware(hw)
         self.n_split = n_split
+        self.checkpoint_path = checkpoint_path
         self._plan_cache: Dict[Tuple, SpatialGroupPlan] = {}
         self.stats: Dict[str, float] = {}
 
@@ -134,8 +245,146 @@ class Scheduler:
 
     # ------------------------------------------------------------------
 
+    def _search_fingerprint(self, order: Sequence[Operator]) -> str:
+        """Structural identity of this search (checkpoint validity)."""
+        cfg = self.config
+        return search_fingerprint(
+            self.graph.subgraph_signature(tuple(order)),
+            (self.hw.name, self.hw.num_pes, self.hw.lanes_per_pe,
+             self.hw.sram_capacity_mb, self.hw.word_bits),
+            (cfg.max_group_size, cfg.keep_fraction,
+             cfg.constant_residency_fraction, cfg.min_ntt_tile,
+             cfg.constant_share, cfg.chained_io, cfg.temporal_streaming,
+             cfg.stream_window),
+            self.n_split,
+        )
+
+    def _initial_state(self, keep_budget: int) -> _DpState:
+        """The DP origin: segment inputs arrive on-chip if chained."""
+        initial_pool: Dict[int, int] = {}
+        if self.config.chained_io:
+            from repro.ir.tensors import TensorKind
+
+            used = 0
+            for t in self.graph.graph_inputs():
+                if t.kind is TensorKind.EXTERNAL and used + t.bytes <= keep_budget:
+                    initial_pool[t.uid] = t.bytes
+                    used += t.bytes
+        return _DpState(seconds=0.0, steps=[], pool=initial_pool)
+
+    def _settle(self, final: _DpState) -> None:
+        """Settle still-deferred outputs (graph results must land in
+        memory): charge their writes to the last step.  With chained
+        segment I/O the outputs stay on-chip for the next segment."""
+        if final.pending and final.steps and not self.config.chained_io:
+            spill = sum(nbytes for nbytes, _, _ in final.pending.values())
+            last = final.steps[-1]
+            last.metrics.dram_write_bytes += spill
+            last.seconds = max(
+                last.seconds,
+                last.metrics.dram_bytes
+                / (self.hw.dram_bytes_per_second * 0.85),
+            )
+
+    def _cover_of(self, state: _DpState, pos: Dict[int, int]) -> List[Tuple[int, int]]:
+        """The (start, size) window sequence that produced a DP state."""
+        return [
+            (pos[step.plan.ops[0].uid], len(step.plan.ops))
+            for step in state.steps
+        ]
+
+    def _replay_cover(
+        self,
+        windows: Sequence[Tuple[int, int]],
+        order: Sequence[Operator],
+        keep_budget: int,
+        const_budget: int,
+        last_use: Dict[int, int],
+        origin: _DpState,
+    ) -> _DpState:
+        """Rebuild a DP state by replaying its checkpointed cover."""
+        state = origin
+        expected = 0
+        for start, size in windows:
+            if start != expected or size < 1 or start + size > len(order):
+                raise ValueError("malformed checkpoint cover")
+            window = tuple(order[start: start + size])
+            plan = self._plan_for(window)
+            if not plan.feasible_allocation or not plan.fits_buffer:
+                raise ValueError("checkpoint cover replays infeasible window")
+            _, state = self._transition(
+                state, plan, keep_budget, const_budget,
+                end_pos=start + size, last_use=last_use,
+            )
+            expected = start + size
+        return state
+
+    def _restore_checkpoint(
+        self,
+        fingerprint: str,
+        order: Sequence[Operator],
+        keep_budget: int,
+        const_budget: int,
+        last_use: Dict[int, int],
+        dp: List[Optional[_DpState]],
+    ) -> int:
+        """Load a matching checkpoint into ``dp``; return the resume
+        position (0 when no usable checkpoint exists)."""
+        if self.checkpoint_path is None:
+            return 0
+        ckpt = SearchCheckpoint.load(self.checkpoint_path, fingerprint)
+        if ckpt is None:
+            return 0
+        try:
+            for j, windows in sorted(ckpt.covers.items()):
+                if not 1 <= j <= len(order):
+                    raise ValueError("checkpoint index out of range")
+                dp[j] = self._replay_cover(
+                    windows, order, keep_budget, const_budget, last_use,
+                    dp[0],
+                )
+        except Exception:
+            # A stale or corrupt checkpoint must never poison a fresh
+            # search: drop everything replayed and start over.
+            for j in range(1, len(dp)):
+                dp[j] = None
+            return 0
+        self.stats["resumed_from"] = float(ckpt.next_i)
+        return min(max(ckpt.next_i, 0), len(order))
+
+    def _save_checkpoint(
+        self,
+        fingerprint: str,
+        next_i: int,
+        dp: Sequence[Optional[_DpState]],
+        pos: Dict[int, int],
+    ) -> None:
+        """Persist the per-window best covers reached so far."""
+        if self.checkpoint_path is None:
+            return
+        covers = {
+            j: self._cover_of(state, pos)
+            for j, state in enumerate(dp)
+            if j > 0 and state is not None
+        }
+        SearchCheckpoint(
+            fingerprint=fingerprint, next_i=next_i, covers=covers
+        ).save(self.checkpoint_path)
+
+    # ------------------------------------------------------------------
+
     def schedule(self) -> Schedule:
-        """Run the DP and return the best schedule found."""
+        """Run the DP and return the best schedule found.
+
+        Under an exhausted search budget (wall-clock or node count) the
+        DP is abandoned — checkpointing its frontier when a checkpoint
+        path is set — and the deterministic greedy fallback produces a
+        valid schedule tagged ``degraded=True`` (unless
+        ``fallback_on_budget=False``, which raises
+        :class:`SearchBudgetExceeded` instead). An infeasible DP cover
+        likewise falls back to greedy before giving up with a typed
+        :class:`InfeasibleScheduleError`.
+        """
         t0 = _time.time()
         order = self.graph.operators_topological()
         n = len(order)
@@ -151,25 +400,27 @@ class Scheduler:
             for t in op.inputs:
                 last_use[t.uid] = max(last_use.get(t.uid, -1), pos[op.uid])
 
+        meter = BudgetMeter(self.config.budget())
         dp: List[Optional[_DpState]] = [None] * (n + 1)
-        initial_pool: Dict[int, int] = {}
-        if self.config.chained_io:
-            # Segment inputs arrive on-chip from the previous segment of
-            # the surrounding program (budget allowing).
-            from repro.ir.tensors import TensorKind
-
-            used = 0
-            for t in self.graph.graph_inputs():
-                if t.kind is TensorKind.EXTERNAL and used + t.bytes <= keep_budget:
-                    initial_pool[t.uid] = t.bytes
-                    used += t.bytes
-        dp[0] = _DpState(seconds=0.0, steps=[], pool=initial_pool)
-        for i in range(n):
+        dp[0] = self._initial_state(keep_budget)
+        fingerprint = self._search_fingerprint(order)
+        start_i = self._restore_checkpoint(
+            fingerprint, order, keep_budget, const_budget, last_use, dp
+        )
+        interrupted_at: Optional[int] = None
+        for i in range(start_i, n):
+            if meter.exceeded:
+                interrupted_at = i
+                break
             state = dp[i]
             if state is None:
                 continue
             for size in range(1, self.config.max_group_size + 1):
                 if i + size > n:
+                    break
+                meter.charge()
+                if meter.exceeded:
+                    interrupted_at = i
                     break
                 window = tuple(order[i: i + size])
                 plan = self._plan_for(window)
@@ -184,24 +435,110 @@ class Scheduler:
                 j = i + size
                 if dp[j] is None or new_state.seconds < dp[j].seconds:
                     dp[j] = new_state
+            if interrupted_at is not None:
+                break
+
+        if interrupted_at is not None:
+            self._save_checkpoint(fingerprint, interrupted_at, dp, pos)
+            frontier = max(
+                (j for j, s in enumerate(dp) if s is not None), default=0
+            )
+            if not self.config.fallback_on_budget:
+                raise SearchBudgetExceeded(
+                    elapsed_seconds=meter.elapsed,
+                    nodes_explored=meter.nodes,
+                    budget_seconds=self.config.max_search_seconds,
+                    budget_nodes=self.config.max_search_nodes,
+                    frontier=frontier,
+                )
+            return self._finish(
+                self._greedy_schedule(
+                    order, keep_budget, const_budget, last_use,
+                    reason=f"search budget exceeded ({meter.describe()})",
+                ),
+                t0,
+            )
         final = dp[n]
         if final is None:
-            raise RuntimeError("scheduling failed: no feasible cover")
-        # Settle any still-deferred outputs (graph results must land in
-        # memory): charge their writes to the last step.  With chained
-        # segment I/O the outputs stay on-chip for the next segment.
-        if final.pending and final.steps and not self.config.chained_io:
-            spill = sum(nbytes for nbytes, _, _ in final.pending.values())
-            last = final.steps[-1]
-            last.metrics.dram_write_bytes += spill
-            last.seconds = max(
-                last.seconds,
-                last.metrics.dram_bytes
-                / (self.hw.dram_bytes_per_second * 0.85),
+            # No feasible DP cover (e.g. a single window exceeding the
+            # stream budget interacting badly with the keep pool): the
+            # greedy fallback tries smaller windows before giving up.
+            return self._finish(
+                self._greedy_schedule(
+                    order, keep_budget, const_budget, last_use,
+                    reason="no feasible DP cover",
+                ),
+                t0,
             )
+        if self.checkpoint_path is not None:
+            self._save_checkpoint(fingerprint, n, dp, pos)
+        self._settle(final)
+        return self._finish(Schedule(steps=final.steps), t0)
+
+    def _finish(self, schedule: Schedule, t0: float) -> Schedule:
+        """Stamp search stats onto the scheduler and return."""
         self.stats["search_seconds"] = _time.time() - t0
         self.stats["plans_cached"] = len(self._plan_cache)
-        return Schedule(steps=final.steps)
+        self.stats["degraded"] = 1.0 if schedule.degraded else 0.0
+        return schedule
+
+    # ------------------------------------------------------------------
+
+    def _greedy_schedule(
+        self,
+        order: Sequence[Operator],
+        keep_budget: int,
+        const_budget: int,
+        last_use: Dict[int, int],
+        reason: str,
+    ) -> Schedule:
+        """Deterministic fallback: fixed MAD-style fusion windows.
+
+        Walks the topological order taking the largest feasible window
+        up to :data:`GREEDY_FALLBACK_WINDOW` operators — linear in the
+        graph, no search — and prices each step with the same transition
+        function as the DP, so the result is a *valid* (if suboptimal)
+        schedule.  Raises :class:`InfeasibleScheduleError` only when a
+        single operator cannot be placed at all.
+        """
+        n = len(order)
+        state = self._initial_state(keep_budget)
+        cap = min(self.config.max_group_size, GREEDY_FALLBACK_WINDOW)
+        i = 0
+        while i < n:
+            placed = False
+            for size in range(min(cap, n - i), 0, -1):
+                window = tuple(order[i: i + size])
+                plan = self._plan_for(window)
+                if not plan.feasible_allocation or not plan.fits_buffer:
+                    continue
+                _, state = self._transition(
+                    state, plan, keep_budget, const_budget,
+                    end_pos=i + size, last_use=last_use,
+                )
+                i += size
+                placed = True
+                break
+            if not placed:
+                single = self._plan_for((order[i],))
+                raise InfeasibleScheduleError(
+                    "no feasible cover: operator cannot be placed even "
+                    "as a singleton group",
+                    operator=order[i].name,
+                    position=i,
+                    partial_steps=len(state.steps),
+                    detail=(
+                        f"group buffer needs "
+                        f"{single.metrics.buffer_bytes} B but SRAM holds "
+                        f"{self.hw.sram_capacity_bytes} B"
+                    ),
+                )
+        self._settle(state)
+        return Schedule(
+            steps=state.steps, degraded=True, degraded_reason=reason
+        )
+
+    # ------------------------------------------------------------------
 
     def _consumed_uids(self, plan: SpatialGroupPlan) -> Set[int]:
         uids = set()
@@ -354,15 +691,31 @@ def schedule_graph(
     candidate_splits: Optional[Sequence[Optional[Tuple[int, int]]]] = None,
 ) -> Schedule:
     """Schedule a graph, trying each candidate NTT split and keeping the
-    fastest result (the scheduler-level half of Section V-B)."""
+    fastest result (the scheduler-level half of Section V-B).
+
+    A split whose search proves infeasible is skipped as long as some
+    other candidate succeeds; only when every candidate fails does the
+    last :class:`InfeasibleScheduleError` propagate.
+    """
     if candidate_splits is None:
         candidate_splits = [None]
     best: Optional[Schedule] = None
+    last_error: Optional[InfeasibleScheduleError] = None
     for split in candidate_splits:
-        sched = Scheduler(graph, hw, config, n_split=split).schedule()
+        try:
+            sched = Scheduler(graph, hw, config, n_split=split).schedule()
+        except InfeasibleScheduleError as exc:
+            last_error = exc
+            continue
         if best is None or sched.total_seconds < best.total_seconds:
             best = sched
-    assert best is not None
+    if best is None:
+        if last_error is not None:
+            raise last_error
+        raise InfeasibleScheduleError(
+            "no candidate NTT split produced a schedule",
+            detail=f"candidates tried: {list(candidate_splits)!r}",
+        )
     return best
 
 
@@ -380,6 +733,8 @@ def schedule_partitioned(
     each *distinct* segment structure once, and reuse the result for its
     structural twins — the twins share the representative's scheduled
     steps, whose costs are identical by construction of the signature.
+    A degraded segment schedule (budget fallback) marks the combined
+    schedule degraded.
     """
     from repro.sched.partition import merge_redundant, partition_graph
 
@@ -396,6 +751,11 @@ def schedule_partitioned(
             cached = Scheduler(sub, hw, config, n_split=n_split).schedule()
             searched[part.signature] = cached
         combined.steps.extend(cached.steps)
+        if cached.degraded and not combined.degraded:
+            combined.degraded = True
+            combined.degraded_reason = (
+                f"segment {part.index}: {cached.degraded_reason}"
+            )
     return combined
 
 

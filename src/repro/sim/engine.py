@@ -19,8 +19,11 @@ integrated busy time / (duration x capacity).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.resilience.errors import ConfigError, SimulationError
 
 from repro.hw.config import HardwareConfig
 from repro.hw.memory import HbmMemory, SramBuffer
@@ -62,6 +65,16 @@ class SimulationEngine:
         residency_fraction: float = 0.5,
         constant_share: int = 1,
     ):
+        if not 0.0 <= residency_fraction <= 1.0:
+            raise ConfigError(
+                "residency_fraction", residency_fraction,
+                "must lie in [0, 1] — a fraction of the SRAM capacity",
+            )
+        if not isinstance(constant_share, int) or constant_share < 1:
+            raise ConfigError(
+                "constant_share", constant_share,
+                "at least one cluster must consume each constant fetch",
+            )
         self.config = config
         self.collect_trace = collect_trace
         self.residency_fraction = residency_fraction
@@ -93,11 +106,24 @@ class SimulationEngine:
             pass_busy = {k: 0.0 for k in busy}
             pass_traffic = TrafficReport()
             for gi, step in enumerate(schedule.steps):
-                mapping = map_group(step.plan)
-                duration, step_busy, m = self._simulate_step(
-                    gi, step, mapping, events,
-                    extra_resident=warm_residents if warm else frozenset(),
-                )
+                try:
+                    mapping = map_group(step.plan)
+                    duration, step_busy, m = self._simulate_step(
+                        gi, step, mapping, events,
+                        extra_resident=warm_residents if warm else frozenset(),
+                    )
+                except SimulationError:
+                    raise
+                except Exception as exc:
+                    raise SimulationError(
+                        "step simulation failed", group_index=gi,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    ) from exc
+                if not math.isfinite(duration) or duration < 0:
+                    raise SimulationError(
+                        "non-physical step duration", group_index=gi,
+                        detail=f"duration={duration!r}s",
+                    )
                 pass_seconds += duration + BARRIER_CYCLES / freq
                 for k in pass_busy:
                     pass_busy[k] += step_busy[k]
@@ -128,6 +154,11 @@ class SimulationEngine:
         def _util(key: str) -> float:
             return min(1.0, busy[key] / total_seconds) if total_seconds else 0.0
 
+        if not math.isfinite(total_seconds) or total_seconds < 0:
+            raise SimulationError(
+                "non-physical total latency",
+                detail=f"total_seconds={total_seconds!r}",
+            )
         util = UtilizationReport(
             pe=_util("pe"),
             noc=_util("noc"),

@@ -7,6 +7,10 @@ from typing import List, Optional, Tuple
 
 from repro.fhe.params import CKKSParams
 from repro.ir.graph import OperatorGraph
+from repro.resilience.errors import ConfigError
+
+#: Baby-step strategies the graph builders implement.
+ROTATION_STRATEGIES = ("plain", "min-ks", "hoisting", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -26,6 +30,38 @@ class WorkloadOptions:
     ntt_split: Optional[Tuple[int, int]] = None
     rotation_strategy: str = "hybrid"
     r_hyb: int = 4
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject build options no graph builder can honour.
+
+        Raises:
+            ConfigError: naming the offending field.
+        """
+        if self.rotation_strategy not in ROTATION_STRATEGIES:
+            raise ConfigError(
+                "rotation_strategy", self.rotation_strategy,
+                f"choose from {ROTATION_STRATEGIES}",
+            )
+        if not isinstance(self.r_hyb, int) or self.r_hyb < 1:
+            raise ConfigError(
+                "r_hyb", self.r_hyb,
+                "the hybrid coarse-step distance must be an int >= 1",
+            )
+        if self.ntt_split is not None:
+            n1, n2 = self.ntt_split
+            for name, value in (("ntt_split[0]", n1), ("ntt_split[1]", n2)):
+                if (
+                    not isinstance(value, int)
+                    or value < 2
+                    or value & (value - 1)
+                ):
+                    raise ConfigError(
+                        name, value,
+                        "four-step factors must be powers of two >= 2",
+                    )
 
 
 @dataclass
