@@ -1,6 +1,6 @@
 # Convenience targets for the CROPHE reproduction.
 
-.PHONY: install test bench bench-full experiments experiments-quick examples lint
+.PHONY: install test bench bench-full experiments experiments-quick examples lint verify-static
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,8 +24,19 @@ lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
-		echo "ruff not installed; skipping lint (pip install ruff)"; \
+		echo "ruff not installed; skipping ruff (pip install ruff)"; \
 	fi
+	PYTHONPATH=src python -m repro.analysis.lint src
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping mypy (pip install mypy)"; \
+	fi
+
+# Static verification of the shipped workload graphs and schedules
+# (repro.analysis): graph invariants, CKKS semantics, schedule legality.
+verify-static:
+	PYTHONPATH=src python -m repro.analysis
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,65 @@
+"""``python -m repro.analysis``: verify the shipped workloads.
+
+Builds the evaluation workloads, runs every static pass on every
+distinct segment (graph, CKKS semantics, schedule legality), and prints
+the combined report.  Exit code 0 when no ERROR diagnostics were found,
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import verify_workloads
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically verify the shipped workload graphs and "
+        "schedules (no simulation).",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+",
+        default=["bootstrapping", "helr", "resnet20"],
+        help="workloads to verify",
+    )
+    parser.add_argument(
+        "--params", default="ARK", help="CKKS parameter set name"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit reports as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    reports = verify_workloads(
+        workload_names=tuple(args.workloads), params_name=args.params
+    )
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.json:
+        print(json.dumps(
+            {
+                "errors": errors,
+                "warnings": warnings,
+                "reports": [json.loads(r.to_json(indent=None)) for r in reports],
+            },
+            indent=2,
+        ))
+    else:
+        for report in reports:
+            if not report.clean:
+                print(report.render_text())
+        print(
+            f"verified {len(reports)} pass run(s): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    return 0 if errors == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Repository lint (rules L001-L002): ban bare ``assert`` and untyped
+``raise`` in library code.
+
+``assert`` statements vanish under ``python -O``, so a library invariant
+guarded by one silently stops being checked; an untyped
+``raise ValueError(...)`` denies callers the chance to branch on the
+failure class.  Library code raises :class:`~repro.resilience.errors.
+ReproError` subclasses instead (``InvariantViolation`` for internal
+invariants).
+
+The pass is a plain ``ast`` walk — no third-party linter needed — and
+fails **on new errors only**: existing findings are recorded in a
+baseline file as ``path:rule:count`` lines (counts per file/rule are
+robust to line shifts, unlike line-number pins), and the gate trips only
+when a file/rule count exceeds its baseline.  Regenerate the baseline
+with ``--write-baseline`` after deliberate cleanups.
+
+Run it as ``python -m repro.analysis.lint src`` (see ``make lint``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+#: Builtin exception types library code must not raise directly.
+#: ``NotImplementedError`` (abstract hooks), ``KeyError``/``IndexError``
+#: (mapping protocol), and ``StopIteration`` stay legal: they *are* the
+#: typed contract of the construct involved.
+BANNED_RAISES = frozenset(
+    {"Exception", "ValueError", "TypeError", "RuntimeError",
+     "AssertionError", "ArithmeticError", "OSError", "IOError"}
+)
+
+#: Default baseline, resolved relative to this package so the gate works
+#: from any working directory.
+DEFAULT_BASELINE = Path(__file__).with_name("lint_baseline.txt")
+
+BaselineKey = Tuple[str, str]  # (posix path, rule id)
+
+
+def _banned_name(node: ast.Raise) -> Optional[str]:
+    """The banned builtin a ``raise`` targets, or None when legal."""
+    exc = node.exc
+    if exc is None:  # bare re-raise
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name) and exc.id in BANNED_RAISES:
+        return exc.id
+    return None
+
+
+def lint_source(
+    source: str, path: str, report: DiagnosticReport
+) -> None:
+    """Emit L001/L002 findings for one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        # A file the lint pass cannot parse would not import either;
+        # surface it as an untyped failure at the offending line.
+        report.emit(
+            "L002", f"{path}:{exc.lineno or 0}",
+            f"unparseable module: {exc.msg}",
+        )
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            report.emit(
+                "L001", f"{path}:{node.lineno}",
+                "bare assert in library code",
+            )
+        elif isinstance(node, ast.Raise):
+            name = _banned_name(node)
+            if name is not None:
+                report.emit(
+                    "L002", f"{path}:{node.lineno}",
+                    f"raises builtin {name}",
+                )
+
+
+def _python_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence[str]) -> DiagnosticReport:
+    """Lint every ``.py`` file under the given paths."""
+    report = DiagnosticReport(pass_name="lint")
+    for path in _python_files(paths):
+        lint_source(
+            path.read_text(encoding="utf-8"), path.as_posix(), report
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline bookkeeping
+# ----------------------------------------------------------------------
+
+def report_counts(report: DiagnosticReport) -> Dict[BaselineKey, int]:
+    """Findings per (file, rule) — the unit the baseline tracks."""
+    counts: Dict[BaselineKey, int] = {}
+    for d in report.diagnostics:
+        file = d.location.rsplit(":", 1)[0]
+        key = (file, d.rule)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> Dict[BaselineKey, int]:
+    """Parse a baseline file (missing file = empty baseline)."""
+    counts: Dict[BaselineKey, int] = {}
+    if not path.exists():
+        return counts
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        file, rule, count = line.rsplit(":", 2)
+        counts[(file, rule)] = int(count)
+    return counts
+
+
+def write_baseline(path: Path, counts: Dict[BaselineKey, int]) -> None:
+    """Serialize accepted finding counts as ``path:rule:count`` lines."""
+    lines = [
+        "# repro.analysis.lint baseline: path:rule:count",
+        "# Regenerate with: python -m repro.analysis.lint src --write-baseline",
+    ]
+    lines.extend(
+        f"{file}:{rule}:{count}"
+        for (file, rule), count in sorted(counts.items())
+    )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def regressions(
+    current: Dict[BaselineKey, int], baseline: Dict[BaselineKey, int]
+) -> Dict[BaselineKey, Tuple[int, int]]:
+    """Keys whose count grew past the baseline: key -> (now, allowed)."""
+    return {
+        key: (count, baseline.get(key, 0))
+        for key, count in sorted(current.items())
+        if count > baseline.get(key, 0)
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Ban bare assert / untyped raise in library code "
+        "(fails on new findings only).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline file of accepted findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    report = lint_paths(args.paths)
+    current = report_counts(report)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, current)
+        print(
+            f"baseline written: {args.baseline} "
+            f"({sum(current.values())} finding(s) accepted)"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    regressed = regressions(current, baseline)
+    fresh = DiagnosticReport(pass_name="lint")
+    for d in report.diagnostics:
+        file = d.location.rsplit(":", 1)[0]
+        if (file, d.rule) in regressed:
+            fresh.diagnostics.append(d)
+
+    if args.json:
+        print(fresh.to_json())
+    else:
+        print(fresh.render_text())
+        suppressed = sum(current.values()) - len(fresh.diagnostics)
+        if suppressed:
+            print(f"({suppressed} pre-existing finding(s) under baseline)")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

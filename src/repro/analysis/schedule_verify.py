@@ -1,0 +1,227 @@
+"""Schedule legality verification (rules S001-S009).
+
+Checks a produced :class:`~repro.sched.dataflow.Schedule` against one
+:class:`~repro.hw.config.HardwareConfig` without re-running the DP or
+the simulator:
+
+* per-step physical legality — group buffer vs SRAM (S003), PE
+  allocation bounds (S004), kept outputs actually produced (S008),
+  finite non-negative costs (S009) — via :func:`verify_steps`;
+* whole-schedule properties that need the source graph — cross-step
+  dependency order (S001), exactly-once coverage (S002), and the
+  temporal pipelining/sharing residency provenance the cost model's
+  discounts rely on (S005-S007) — via :func:`verify_schedule`.
+
+The residency rules encode the scheduler's by-construction invariants:
+a step may only discount a DRAM read for a tensor some earlier step
+*kept* (or a chained graph input), only skip a constant fetch for a
+constant an earlier step actually brought on-chip, and the constants
+held across steps must fit the temporal-sharing budget.  Schedules
+assembled by hand (or mutated fixtures) that fake residency are caught
+here, because their reported seconds would under-count DRAM traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.hw.config import HardwareConfig
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import OpKind
+from repro.sched.dataflow import Schedule, ScheduledStep
+from repro.sched.scheduler import SchedulerConfig
+
+
+def _step_loc(index: int, step: ScheduledStep) -> str:
+    ops = step.plan.ops
+    head = ops[0].name if ops else "<empty>"
+    return f"step {index} [{head}{'...' if len(ops) > 1 else ''}]"
+
+
+def _counters(step: ScheduledStep) -> Dict[str, float]:
+    m = step.metrics
+    return {
+        "seconds": step.seconds,
+        "compute_cycles": m.compute_cycles,
+        "buffer_bytes": m.buffer_bytes,
+        "noc_bytes": m.noc_bytes,
+        "transpose_bytes": m.transpose_bytes,
+        "sram_bytes": m.sram_bytes,
+        "dram_read_bytes": m.dram_read_bytes,
+        "dram_write_bytes": m.dram_write_bytes,
+    }
+
+
+def verify_steps(
+    steps: Sequence[ScheduledStep],
+    hw: HardwareConfig,
+    config: Optional[SchedulerConfig] = None,
+) -> DiagnosticReport:
+    """Per-step legality (S003, S004, S008, S009).
+
+    Needs no graph, so it also fits schedules whose steps were assembled
+    from several partition subgraphs; this is the simulator's pre-run
+    gate.
+    """
+    report = DiagnosticReport(pass_name="schedule-steps")
+    for i, step in enumerate(steps):
+        loc = _step_loc(i, step)
+        plan = step.plan
+
+        # S003: the group's working set must fit the global SRAM.
+        if plan.metrics.buffer_bytes > hw.sram_capacity_bytes:
+            report.emit(
+                "S003", loc,
+                f"buffer footprint {plan.metrics.buffer_bytes} B exceeds "
+                f"SRAM capacity {hw.sram_capacity_bytes} B",
+            )
+
+        # S004: PE allocation bounds.
+        compute_ops = [
+            op for op in plan.ops if op.kind is not OpKind.TRANSPOSE
+        ]
+        if compute_ops and not plan.pe_allocation:
+            report.emit(
+                "S004", loc,
+                f"{len(compute_ops)} compute operators but no PE "
+                "allocation (infeasible spatial group)",
+            )
+        total = sum(plan.pe_allocation.values())
+        if total > hw.num_pes:
+            report.emit(
+                "S004", loc,
+                f"allocates {total} PEs, the array has {hw.num_pes}",
+            )
+        for uid, count in plan.pe_allocation.items():
+            if count < 1:
+                names = {op.uid: op.name for op in plan.ops}
+                report.emit(
+                    "S004", loc,
+                    f"operator {names.get(uid, uid)} allocated "
+                    f"{count} PEs; pipelined stages need at least one",
+                )
+        if config is not None and len(plan.ops) > config.max_group_size:
+            report.emit(
+                "S004", loc,
+                f"window of {len(plan.ops)} operators exceeds "
+                f"max_group_size={config.max_group_size}",
+            )
+
+        # S008: kept outputs must be boundary outputs of this very group.
+        _, outs = plan.boundary()
+        out_uids = {t.uid for t in outs}
+        for uid in sorted(step.kept_outputs - out_uids):
+            report.emit(
+                "S008", loc,
+                f"keeps tensor uid {uid}, which this group does not "
+                "produce for later steps",
+            )
+
+        # S009: costs must be physical.
+        for name, value in _counters(step).items():
+            if not math.isfinite(value) or value < 0:
+                report.emit(
+                    "S009", loc, f"{name} is {value!r}"
+                )
+    return report
+
+
+def verify_schedule(
+    schedule: Schedule,
+    hw: HardwareConfig,
+    graph: Optional[OperatorGraph] = None,
+    config: Optional[SchedulerConfig] = None,
+) -> DiagnosticReport:
+    """Full legality of one schedule (all S rules).
+
+    ``graph`` enables the order/coverage rules (S001, S002); leave it
+    out for schedules stitched from partition twins, whose steps repeat
+    by construction.  ``config`` enables the knob-dependent bounds
+    (window size, constant residency budget).
+    """
+    report = DiagnosticReport(pass_name="schedule")
+    report.extend(verify_steps(schedule.steps, hw, config))
+
+    # Which step executes each operator (uid -> earliest step index).
+    op_step: Dict[int, int] = {}
+    seen_count: Dict[int, int] = {}
+    for i, step in enumerate(schedule.steps):
+        for op in step.plan.ops:
+            op_step.setdefault(op.uid, i)
+            seen_count[op.uid] = seen_count.get(op.uid, 0) + 1
+
+    if graph is not None:
+        graph_input_uids = {t.uid for t in graph.graph_inputs()}
+
+        # S002: exactly-once coverage.
+        for op in graph.operators:
+            count = seen_count.get(op.uid, 0)
+            if count != 1:
+                report.emit(
+                    "S002", f"op {op.name}",
+                    f"scheduled {count} times",
+                )
+
+        # S001: every consumed intermediate is produced in the same or
+        # an earlier step.
+        for i, step in enumerate(schedule.steps):
+            for op in step.plan.ops:
+                for t in op.inputs:
+                    producer = graph.producer_of(t)
+                    if producer is None:
+                        continue
+                    j = op_step.get(producer.uid)
+                    if j is not None and j > i:
+                        report.emit(
+                            "S001", _step_loc(i, step),
+                            f"{op.name} consumes {t.name}, produced by "
+                            f"{producer.name} in step {j}",
+                        )
+
+        # S005: residency provenance — a discounted read must point at a
+        # tensor an earlier step kept on-chip, or a chained graph input.
+        kept_so_far: Set[int] = set()
+        for i, step in enumerate(schedule.steps):
+            illegal = (
+                step.resident_inputs - kept_so_far - graph_input_uids
+            )
+            for uid in sorted(illegal):
+                report.emit(
+                    "S005", _step_loc(i, step),
+                    f"discounts the DRAM read of tensor uid {uid}, "
+                    "which no earlier step kept on-chip",
+                )
+            kept_so_far |= step.kept_outputs
+
+    # S006/S007 need no graph: constants are identified per step by the
+    # plan's own metrics.
+    fetched_bytes: Dict[int, int] = {}
+    for i, step in enumerate(schedule.steps):
+        loc = _step_loc(i, step)
+        unfetched = step.resident_constants - set(fetched_bytes)
+        for uid in sorted(unfetched):
+            report.emit(
+                "S006", loc,
+                f"treats constant uid {uid} as resident, but no earlier "
+                "step fetched it",
+            )
+        if config is not None:
+            budget = int(
+                hw.sram_capacity_bytes * config.constant_residency_fraction
+            )
+            held = sum(
+                fetched_bytes.get(uid, 0)
+                for uid in step.resident_constants
+            )
+            if held > budget:
+                report.emit(
+                    "S007", loc,
+                    f"holds {held} B of resident constants; the "
+                    f"temporal-sharing budget is {budget} B "
+                    f"({config.constant_residency_fraction} of SRAM)",
+                )
+        for uid, nbytes in step.plan.metrics.constant_bytes.items():
+            fetched_bytes.setdefault(uid, nbytes)
+    return report

@@ -1,0 +1,297 @@
+"""CKKS semantic verification (rules C001-C006).
+
+In this IR the limb dimension *is* the level bookkeeping: an RNS-CKKS
+ciphertext at level ``l`` carries ``l + 1`` limb rows, a rescale drops
+exactly one row, and only base conversion (BConv) may extend the basis.
+The pass therefore verifies per-operator limb/slot agreement (C001), a
+conservative limb-budget walk over the graph — element-wise operators
+may route/concatenate rows but never mint them (C002), no polynomial may
+reach zero limbs, i.e. a negative level (C003) — four-step NTT split
+consistency (C004), evk/digit agreement on key-switch inner products
+(C005), and the one-limb-drop law of rescale corrections (C006).
+
+The pass runs without executing anything and tolerates corrupt graphs;
+run :func:`~repro.analysis.graph_verify.verify_graph` first for the
+structural rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.fhe.params import CKKSParams
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator, OpKind
+from repro.ir.tensors import DataTensor, TensorKind
+
+#: Tensor kinds laid out as (limbs, N) polynomial matrices.
+_POLY_LIKE = (TensorKind.POLY, TensorKind.EXTERNAL, TensorKind.PLAINTEXT)
+
+
+def _is_poly_like(t: DataTensor) -> bool:
+    return t.kind in _POLY_LIKE
+
+
+def _rows(t: DataTensor) -> int:
+    """Limb rows of a polynomial-shaped tensor."""
+    return t.shape[0] if len(t.shape) == 2 else 0
+
+
+def _cols(t: DataTensor) -> int:
+    """Slot dimension of a polynomial-shaped tensor."""
+    return t.shape[-1] if t.shape else 0
+
+
+def _loc(op: Operator) -> str:
+    return f"op {op.name} ({op.kind.value})"
+
+
+def _check_poly_output(
+    op: Operator, expected_rows: int, report: DiagnosticReport
+) -> None:
+    """Every output must be a (expected_rows, N) polynomial."""
+    for t in op.outputs:
+        if not _is_poly_like(t):
+            report.emit(
+                "C001", _loc(op),
+                f"output {t.name} has kind {t.kind.value}, expected a "
+                "polynomial",
+            )
+            continue
+        if _rows(t) != expected_rows or _cols(t) != op.n:
+            report.emit(
+                "C001", _loc(op),
+                f"output {t.name} has shape {t.shape}, expected "
+                f"({expected_rows}, {op.n})",
+            )
+
+
+def _poly_inputs(op: Operator) -> list:
+    return [t for t in op.inputs if _is_poly_like(t)]
+
+
+def _check_slots(op: Operator, report: DiagnosticReport) -> None:
+    for t in _poly_inputs(op):
+        if _cols(t) != op.n:
+            report.emit(
+                "C001", _loc(op),
+                f"input {t.name} has slot dimension {_cols(t)}, "
+                f"operator declares N={op.n}",
+            )
+
+
+def _check_elementwise(op: Operator, report: DiagnosticReport) -> None:
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    # C002: element-wise operators route or combine limb rows; the
+    # output basis can at most concatenate what the inputs carry
+    # (e.g. the ModUp extend op), never exceed it.
+    available = sum(_rows(t) for t in _poly_inputs(op))
+    if _poly_inputs(op) and op.limbs > available:
+        report.emit(
+            "C002", _loc(op),
+            f"writes {op.limbs} limb rows but its inputs carry only "
+            f"{available}",
+        )
+
+
+def _check_automorphism(op: Operator, report: DiagnosticReport) -> None:
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    for t in _poly_inputs(op):
+        if _rows(t) != op.limbs:
+            report.emit(
+                "C002", _loc(op),
+                f"permutes {op.limbs} limb rows but input {t.name} "
+                f"carries {_rows(t)} — an automorphism preserves the basis",
+            )
+
+
+def _check_ntt(op: Operator, report: DiagnosticReport) -> None:
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    polys = _poly_inputs(op)
+    if polys and _rows(polys[0]) < op.limbs:
+        report.emit(
+            "C002", _loc(op),
+            f"transforms {op.limbs} limb rows but input "
+            f"{polys[0].name} carries only {_rows(polys[0])}",
+        )
+    valid_lengths = {op.n}
+    if op.kind.is_ntt_phase:
+        if op.n_split is None:
+            report.emit("C004", _loc(op), "decomposed phase without n_split")
+        else:
+            n1, n2 = op.n_split
+            if n1 * n2 != op.n:
+                report.emit(
+                    "C004", _loc(op),
+                    f"n_split {op.n_split} does not multiply to N={op.n}",
+                )
+            valid_lengths |= {n1, n2}
+    for t in op.inputs:
+        if t.kind is TensorKind.TWIDDLE and t.shape[0] not in valid_lengths:
+            report.emit(
+                "C004", _loc(op),
+                f"twiddle {t.name} has length {t.shape[0]}, expected one "
+                f"of {sorted(valid_lengths)}",
+            )
+
+
+def _check_transpose(op: Operator, report: DiagnosticReport) -> None:
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    for t in _poly_inputs(op):
+        if _rows(t) != op.limbs:
+            report.emit(
+                "C002", _loc(op),
+                f"transposes {op.limbs} limb rows but input {t.name} "
+                f"carries {_rows(t)}",
+            )
+
+
+def _check_bconv(op: Operator, report: DiagnosticReport) -> None:
+    out_limbs = op.out_limbs if op.out_limbs is not None else op.limbs
+    _check_poly_output(op, out_limbs, report)
+    _check_slots(op, report)
+    if out_limbs < 1 or op.limbs < 1:
+        report.emit(
+            "C003", _loc(op),
+            f"base conversion from {op.limbs} to {out_limbs} limbs — "
+            "the limb basis collapsed to nothing",
+        )
+    polys = _poly_inputs(op)
+    if polys and _rows(polys[0]) < op.limbs:
+        report.emit(
+            "C002", _loc(op),
+            f"converts {op.limbs} source limbs but input "
+            f"{polys[0].name} carries only {_rows(polys[0])}",
+        )
+    for t in op.inputs:
+        if t.kind is TensorKind.BCONV_MATRIX and t.shape != (out_limbs, op.limbs):
+            report.emit(
+                "C001", _loc(op),
+                f"BConv matrix {t.name} has shape {t.shape}, expected "
+                f"({out_limbs}, {op.limbs})",
+            )
+
+
+def _check_ksk_inp(op: Operator, report: DiagnosticReport) -> None:
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    evks = [t for t in op.inputs if t.kind is TensorKind.EVK]
+    digits = _poly_inputs(op)
+    if len(evks) != 1:
+        report.emit(
+            "C005", _loc(op),
+            f"expected exactly one evk input, found {len(evks)}",
+        )
+    else:
+        evk = evks[0]
+        if len(evk.shape) != 4:
+            report.emit(
+                "C005", _loc(op),
+                f"evk {evk.name} has shape {evk.shape}, expected "
+                "(polys, beta, limbs, N)",
+            )
+        else:
+            _, beta, limbs, n = evk.shape
+            if beta != op.digits or limbs != op.limbs or n != op.n:
+                report.emit(
+                    "C005", _loc(op),
+                    f"evk {evk.name} is (beta={beta}, limbs={limbs}, "
+                    f"N={n}) but the inner product declares "
+                    f"(beta={op.digits}, limbs={op.limbs}, N={op.n})",
+                )
+    if len(digits) != op.digits:
+        report.emit(
+            "C005", _loc(op),
+            f"{len(digits)} digit polynomials for beta={op.digits}",
+        )
+    for t in digits:
+        if _rows(t) != op.limbs:
+            report.emit(
+                "C005", _loc(op),
+                f"digit {t.name} carries {_rows(t)} limb rows, the "
+                f"extended basis holds {op.limbs}",
+            )
+
+
+_KIND_CHECKS = {
+    OpKind.EW_ADD: _check_elementwise,
+    OpKind.EW_MUL: _check_elementwise,
+    OpKind.EW_MULADD: _check_elementwise,
+    OpKind.NTT: _check_ntt,
+    OpKind.INTT: _check_ntt,
+    OpKind.NTT_COL: _check_ntt,
+    OpKind.NTT_ROW: _check_ntt,
+    OpKind.INTT_COL: _check_ntt,
+    OpKind.INTT_ROW: _check_ntt,
+    OpKind.AUTOMORPHISM: _check_automorphism,
+    OpKind.BCONV: _check_bconv,
+    OpKind.KSK_INP: _check_ksk_inp,
+    OpKind.TRANSPOSE: _check_transpose,
+}
+
+
+def _is_rescale_correction(op: Operator) -> bool:
+    """The EW correction step of an HRescale lowering.
+
+    The builder tags every rescale correction ``<...>rescale<...>.correct``
+    (see :meth:`repro.ir.builders.GraphBuilder.rescale`); ModDown
+    corrections carry ``moddown`` tags and keep their basis.
+    """
+    return (
+        op.kind is OpKind.EW_MULADD
+        and "rescale" in op.tag
+        and op.tag.endswith(".correct")
+    )
+
+
+def verify_semantics(
+    graph: OperatorGraph, params: Optional[CKKSParams] = None
+) -> DiagnosticReport:
+    """Run the CKKS semantic pass over one graph.
+
+    With ``params`` the walk additionally pins every operator's slot
+    dimension to the parameter set's ring degree.
+    """
+    report = DiagnosticReport(pass_name=f"semantics:{graph.name}")
+    for op in graph.operators:
+        check = _KIND_CHECKS.get(op.kind)
+        if check is None:
+            report.emit(
+                "C001", _loc(op), f"unknown operator kind {op.kind!r}"
+            )
+            continue
+        check(op, report)
+        if params is not None and op.n != params.n:
+            report.emit(
+                "C001", _loc(op),
+                f"operates on N={op.n} slots under a ring of degree "
+                f"{params.n}",
+            )
+        # C003: the level-budget walk.  Every polynomial the operator
+        # touches must carry at least one limb — a zero-row tensor is a
+        # rescale/modswitch walk that went negative.
+        for t in list(op.inputs) + list(op.outputs):
+            if _is_poly_like(t) and _rows(t) < 1:
+                report.emit(
+                    "C003", _loc(op),
+                    f"polynomial {t.name} carries {_rows(t)} limbs "
+                    f"(level {_rows(t) - 1})",
+                )
+        # C006: rescale corrections drop exactly one limb from the
+        # widest ciphertext input.
+        if _is_rescale_correction(op):
+            widest = max(
+                (_rows(t) for t in _poly_inputs(op)), default=0
+            )
+            if op.limbs != widest - 1:
+                report.emit(
+                    "C006", _loc(op),
+                    f"writes {op.limbs} limb rows from a level-"
+                    f"{widest - 1} source; expected {widest - 1}",
+                )
+    return report

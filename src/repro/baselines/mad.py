@@ -96,6 +96,7 @@ class MadScheduler(Scheduler):
             max_search_seconds=base.max_search_seconds,
             max_search_nodes=base.max_search_nodes,
             fallback_on_budget=base.fallback_on_budget,
+            verify=base.verify,
         )
         super().__init__(graph, hw, mad_config, n_split=None)
 

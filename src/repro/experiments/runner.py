@@ -29,7 +29,11 @@ Resilience (each table/figure is one *cell*):
 * ``--search-seconds`` / ``--search-nodes`` bound every DP schedule
   search inside the cells (exported as ``REPRO_MAX_SEARCH_SECONDS`` /
   ``REPRO_MAX_SEARCH_NODES``); exhausted budgets degrade to the greedy
-  fallback scheduler instead of hanging.
+  fallback scheduler instead of hanging;
+* ``--verify`` statically verifies the shipped workload graphs and
+  schedules (:mod:`repro.analysis`) before any cell runs and aborts
+  with exit status 5 on findings; ``--verify-json`` prints the reports
+  as JSON.
 
 ``REPRO_FORCE_FAIL`` (comma-separated cell names) makes the named cells
 raise a :class:`~repro.resilience.errors.SimulationError` — a test hook
@@ -57,6 +61,7 @@ EXIT_OTHER = 1
 EXIT_CONFIG = 2
 EXIT_BUDGET = 3
 EXIT_SIMULATION = 4
+EXIT_VERIFY = 5
 
 _KIND_TO_EXIT = {
     "config": EXIT_CONFIG,
@@ -153,6 +158,41 @@ EXPERIMENTS = {
 }
 
 
+def _run_verify(as_json: bool) -> int:
+    """Statically verify the shipped workloads before any cell runs.
+
+    Returns :data:`EXIT_OK` when every pass is free of ERROR findings,
+    :data:`EXIT_VERIFY` otherwise.
+    """
+    import json
+
+    from repro.analysis import verify_workloads
+
+    reports = verify_workloads()
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if as_json:
+        print(json.dumps(
+            {
+                "errors": errors,
+                "warnings": warnings,
+                "reports": [
+                    json.loads(r.to_json(indent=None)) for r in reports
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        for report in reports:
+            if not report.clean:
+                print(report.render_text())
+        print(
+            f"verify: {len(reports)} pass run(s), "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    return EXIT_OK if errors == 0 else EXIT_VERIFY
+
+
 def _print_report(statuses) -> None:
     """Render the per-cell status table on stdout."""
     print("==== run report ====")
@@ -218,11 +258,28 @@ def main(argv=None) -> int:
         "--search-nodes", type=int, default=None, metavar="N",
         help="node budget per DP schedule search inside cells",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="statically verify the shipped workload graphs/schedules "
+             "before running; abort with exit status 5 on findings",
+    )
+    parser.add_argument(
+        "--verify-json", action="store_true",
+        help="like --verify, but print the reports as JSON",
+    )
     args = parser.parse_args(argv)
     if args.search_seconds is not None:
         os.environ["REPRO_MAX_SEARCH_SECONDS"] = str(args.search_seconds)
     if args.search_nodes is not None:
         os.environ["REPRO_MAX_SEARCH_NODES"] = str(args.search_nodes)
+    if args.verify or args.verify_json:
+        code = _run_verify(as_json=args.verify_json)
+        if code != EXIT_OK:
+            print(
+                "verification failed; not running any cell",
+                file=sys.stderr,
+            )
+            return code
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     artifact = (

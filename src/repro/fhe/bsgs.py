@@ -23,6 +23,7 @@ import numpy as np
 from repro.fhe import ops
 from repro.fhe.ciphertext import Ciphertext
 from repro.fhe.context import CKKSContext
+from repro.resilience.errors import InvariantViolation
 from repro.fhe.rotation import (
     RotationCounts,
     hoisted_rotations,
@@ -103,11 +104,19 @@ def pt_mat_vec_mult(
             pt = ctx.encode(rotated_diag, level=ct.level, scale=pt_scale)
             term = ops.mul_plain(baby[i], pt)
             partial = term if partial is None else ops.add(partial, term)
-        assert partial is not None
+        if partial is None:
+            raise InvariantViolation(
+                "repro.fhe.bsgs.pt_mat_vec_mult",
+                f"giant step {j} accumulated no diagonal terms",
+            )
         if j:
             partial = _rotate_psum(ctx, partial, n1 * j)
         result = partial if result is None else ops.add(result, partial)
-    assert result is not None
+    if result is None:
+        raise InvariantViolation(
+            "repro.fhe.bsgs.pt_mat_vec_mult",
+            "no giant-step partials were produced (empty matrix?)",
+        )
     return ops.rescale(ctx, result)
 
 

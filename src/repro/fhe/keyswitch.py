@@ -31,6 +31,7 @@ from repro.fhe.context import CKKSContext
 from repro.fhe.keys import EvaluationKey
 from repro.fhe.poly import Domain, RnsPoly
 from repro.fhe.rns import BaseConverter, mod_inverse, mod_mul, mod_sub
+from repro.resilience.errors import InvariantViolation
 
 
 def decompose(d: RnsPoly, alpha: int) -> List[RnsPoly]:
@@ -100,7 +101,11 @@ def ksk_inner_product(
         term_a = d_j * a_j
         acc_b = term_b if acc_b is None else acc_b + term_b
         acc_a = term_a if acc_a is None else acc_a + term_a
-    assert acc_b is not None and acc_a is not None
+    if acc_b is None or acc_a is None:
+        raise InvariantViolation(
+            "repro.fhe.keyswitch.ksk_inner_product",
+            "no digits accumulated (empty decomposition)",
+        )
     return acc_b, acc_a
 
 

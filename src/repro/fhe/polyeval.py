@@ -27,6 +27,7 @@ import numpy as np
 from repro.fhe import ops
 from repro.fhe.ciphertext import Ciphertext
 from repro.fhe.context import CKKSContext
+from repro.resilience.errors import InvariantViolation
 
 
 def _mul(ctx: CKKSContext, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -80,7 +81,11 @@ def _power_basis(
     for p in range(2, max_power + 1):
         half = p // 2
         other = p - half
-        assert powers[half] is not None and powers[other] is not None
+        if powers[half] is None or powers[other] is None:
+            raise InvariantViolation(
+                "repro.fhe.polyeval._power_basis",
+                f"powers {half} and {other} must precede power {p}",
+            )
         powers[p] = _mul(ctx, powers[half], powers[other])
     return powers
 
@@ -121,7 +126,11 @@ def paterson_stockmeyer(
         return acc
 
     giant = baby[k]
-    assert giant is not None
+    if giant is None:
+        raise InvariantViolation(
+            "repro.fhe.polyeval.paterson_stockmeyer",
+            f"giant step x^{k} missing from the baby-step table",
+        )
     result: Optional[Ciphertext] = None
     # Evaluate blocks from the highest down: result = result*x^k + block.
     for b in range(num_blocks - 1, -1, -1):

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fhe.params import CKKSParams
 from repro.ir.graph import OperatorGraph
+from repro.resilience.errors import InvariantViolation
 from repro.ir.operators import Operator, OpKind
 from repro.ir.tensors import (
     DataTensor,
@@ -682,7 +683,12 @@ class GraphBuilder:
                     OpKind.EW_ADD, [b_rot_by_g[g], ks_b], limbs, f"{rtag}.b"
                 )
                 out[g * r_hyb + r] = CiphertextTensors(b, ks_a, level)
-        assert all(o is not None for o in out)
+        if any(o is None for o in out):
+            missing = [i for i, o in enumerate(out) if o is None]
+            raise InvariantViolation(
+                "repro.ir.builders.GraphBuilder._baby_hybrid",
+                f"rotation outputs {missing} were never assigned",
+            )
         return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -750,5 +756,9 @@ class GraphBuilder:
                 partial if result is None
                 else self.hadd(result, partial, f"{tag}.sum{j}")
             )
-        assert result is not None
+        if result is None:
+            raise InvariantViolation(
+                "repro.ir.builders.GraphBuilder.bsgs_matvec",
+                "giant-step accumulation produced no partial sums",
+            )
         return self.rescale(result, f"{tag}.rescale")

@@ -15,6 +15,7 @@ import networkx as nx
 
 from repro.ir.operators import Operator
 from repro.ir.tensors import DataTensor, TensorKind
+from repro.resilience.errors import GraphInvariantError
 
 
 class OperatorGraph:
@@ -33,14 +34,33 @@ class OperatorGraph:
     # ------------------------------------------------------------------
 
     def add_operator(self, op: Operator) -> Operator:
-        """Insert an operator; wires edges via its input/output tensors."""
+        """Insert an operator; wires edges via its input/output tensors.
+
+        Structural invariants are enforced at insertion time: a tensor
+        keeps a single producer (SSA) and an insertion that would close
+        a dependency cycle is rejected — both with a
+        :class:`~repro.resilience.errors.GraphInvariantError` naming the
+        offending operators, leaving the graph unchanged.
+
+        Raises:
+            GraphInvariantError: duplicate operator, second producer for
+                a tensor, or a cycle-closing insertion.
+        """
         if op.uid in self._ops:
-            raise ValueError(f"operator {op.name} already in graph")
+            raise GraphInvariantError(
+                f"operator {op.name} already in graph",
+                graph=self.name, operators=(op.name,),
+            )
+        for t in op.outputs:
+            existing = self._producer.get(t.uid)
+            if existing is not None:
+                raise GraphInvariantError(
+                    f"tensor {t.name} already has a producer",
+                    graph=self.name, operators=(existing.name, op.name),
+                )
         self._ops[op.uid] = op
         self._nx.add_node(op)
         for t in op.outputs:
-            if t.uid in self._producer:
-                raise ValueError(f"tensor {t.name} already has a producer")
             self._producer[t.uid] = op
             self._tensors[t.uid] = t
             # Late consumers may already be registered.
@@ -52,7 +72,58 @@ class OperatorGraph:
             producer = self._producer.get(t.uid)
             if producer is not None:
                 self._nx.add_edge(producer, op, tensor=t)
+        # Only an operator that gains *outgoing* edges at insertion time
+        # (some registered consumer was waiting for one of its outputs)
+        # can close a cycle; builders append producers before consumers,
+        # so the common path stays O(degree).
+        if self._nx.out_degree(op) > 0 and self._nx.in_degree(op) > 0:
+            cycle = self._cycle_through(op)
+            if cycle:
+                self._rollback_insertion(op)
+                raise GraphInvariantError(
+                    f"inserting operator {op.name} closes a dependency "
+                    "cycle",
+                    graph=self.name,
+                    operators=[member.name for member in cycle],
+                )
         return op
+
+    def _cycle_through(self, op: Operator) -> List[Operator]:
+        """The path ``op -> ... -> op`` if one exists, else empty."""
+        path: List[Operator] = [op]
+        stack = [iter(self._nx.successors(op))]
+        visited: Set[Operator] = set()
+        while stack:
+            advanced = False
+            for succ in stack[-1]:
+                if succ is op:
+                    return path + [op]
+                if succ not in visited:
+                    visited.add(succ)
+                    path.append(succ)
+                    stack.append(iter(self._nx.successors(succ)))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                path.pop()
+        return []
+
+    def _rollback_insertion(self, op: Operator) -> None:
+        """Undo a rejected :meth:`add_operator` (graph left as before)."""
+        self._nx.remove_node(op)
+        del self._ops[op.uid]
+        for t in op.outputs:
+            self._producer.pop(t.uid, None)
+        for t in op.inputs:
+            consumers = self._consumers.get(t.uid, [])
+            if op in consumers:
+                consumers.remove(op)
+            if not consumers:
+                self._consumers.pop(t.uid, None)
+        for t in list(op.outputs) + list(op.inputs):
+            if t.uid not in self._producer and t.uid not in self._consumers:
+                self._tensors.pop(t.uid, None)
 
     def merge(self, other: "OperatorGraph") -> None:
         """Absorb all operators of another graph (tensors may be shared)."""
@@ -128,7 +199,13 @@ class OperatorGraph:
                 if indegree[succ] == 0:
                     ready.append(succ)
         if len(order) != len(self._ops):
-            raise ValueError(f"graph {self.name} has a cycle")
+            stuck = sorted(
+                (op.name for op in self._nx.nodes if indegree[op] > 0)
+            )
+            raise GraphInvariantError(
+                "topological traversal stalled: graph has a cycle",
+                graph=self.name, operators=stuck[:8],
+            )
         return order
 
     def edge_tensor(self, producer: Operator, consumer: Operator) -> DataTensor:
@@ -158,7 +235,9 @@ class OperatorGraph:
     def validate(self) -> None:
         """Check acyclicity and tensor wiring consistency."""
         if not nx.is_directed_acyclic_graph(self._nx):
-            raise ValueError(f"graph {self.name} has a cycle")
+            raise GraphInvariantError(
+                "graph has a cycle", graph=self.name
+            )
         for uid, consumers in self._consumers.items():
             t = self._tensors[uid]
             if t.kind is TensorKind.POLY and uid not in self._producer:

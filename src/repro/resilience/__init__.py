@@ -20,19 +20,25 @@ from repro.resilience.budget import BudgetMeter, SearchBudget
 from repro.resilience.checkpoint import SearchCheckpoint
 from repro.resilience.errors import (
     ConfigError,
+    GraphInvariantError,
     InfeasibleScheduleError,
+    InvariantViolation,
     ReproError,
     SearchBudgetExceeded,
     SimulationError,
+    VerificationError,
 )
 from repro.resilience.isolation import CellStatus, RunArtifact, run_isolated
 
 __all__ = [
     "ReproError",
     "ConfigError",
+    "GraphInvariantError",
     "InfeasibleScheduleError",
+    "InvariantViolation",
     "SearchBudgetExceeded",
     "SimulationError",
+    "VerificationError",
     "SearchBudget",
     "BudgetMeter",
     "SearchCheckpoint",

@@ -24,7 +24,7 @@ pre-existing callers that catch the builtin types keep working.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 
 class ReproError(Exception):
@@ -113,6 +113,78 @@ class SearchBudgetExceeded(ReproError):
             f"{budget_seconds}s / {budget_nodes} nodes); "
             f"best cover reaches position {frontier}"
         )
+
+
+class GraphInvariantError(ReproError, ValueError):
+    """An operator graph violated a structural invariant.
+
+    Raised when an insertion would close a dependency cycle, when a
+    tensor acquires a second producer, or when traversal discovers a
+    cycle in an already-corrupt graph.  Subclasses :class:`ValueError`
+    because the graph layer historically raised that type.
+
+    Attributes:
+        graph: name of the offending graph.
+        operators: names of the operators on the violating path (the
+            cycle members, or the two producers of one tensor).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        graph: str = "",
+        operators: Sequence[str] = (),
+    ):
+        self.graph = graph
+        self.operators = tuple(operators)
+        parts = [message]
+        if graph:
+            parts.append(f"graph={graph!r}")
+        if self.operators:
+            parts.append("operators: " + " -> ".join(self.operators))
+        super().__init__("; ".join(parts))
+
+
+class InvariantViolation(ReproError, RuntimeError):
+    """An internal invariant the code relies on was broken.
+
+    The typed replacement for library-path ``assert`` statements (which
+    vanish under ``python -O``): names the site and carries a diagnosis
+    so the failure is debuggable from a crash report alone.
+
+    Attributes:
+        site: dotted name of the function whose invariant broke.
+        detail: what was expected and what was found.
+    """
+
+    def __init__(self, site: str, detail: str):
+        self.site = site
+        self.detail = detail
+        super().__init__(f"internal invariant broken in {site}: {detail}")
+
+
+class VerificationError(ReproError):
+    """A static verification pass found ERROR-severity diagnostics.
+
+    Raised by the scheduler's post-``schedule()`` gate (and available to
+    any caller of :mod:`repro.analysis`) when a produced artifact is
+    illegal.  Carries the rendered report and the structured findings.
+
+    Attributes:
+        report: the :class:`~repro.analysis.diagnostics.DiagnosticReport`
+            that failed (kept as ``object`` to avoid a dependency cycle).
+        rule_ids: ids of the ERROR diagnostics, in order.
+    """
+
+    def __init__(self, message: str, report: Any = None):
+        self.report = report
+        self.rule_ids = tuple(
+            d.rule for d in getattr(report, "errors", ())
+        )
+        detail = ""
+        if report is not None:
+            detail = "\n" + report.render_text()
+        super().__init__(message + detail)
 
 
 class SimulationError(ReproError):

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.resilience.errors import (
     ConfigError,
     InfeasibleScheduleError,
+    InvariantViolation,
     ReproError,
     SearchBudgetExceeded,
     SimulationError,
@@ -196,7 +197,11 @@ def run_isolated(
         )
         if kind != "error":
             break  # structured failures are deterministic: no retry
-    assert last is not None  # loop runs at least once
+    if last is None:  # loop runs at least once; guard for -O safety
+        raise InvariantViolation(
+            "repro.resilience.isolation.run_isolated",
+            "retry loop produced no CellStatus",
+        )
     last.seconds = time.monotonic() - start
     return last
 

@@ -31,6 +31,7 @@ from repro.hw.transpose import TransposeUnit
 from repro.ir.graph import OperatorGraph
 from repro.ir.operators import Operator, OpKind
 from repro.ir.tensors import DataTensor, TensorKind
+from repro.resilience.errors import InvariantViolation
 from repro.sched.tiling import NestAssignment, assign_loop_nests
 
 
@@ -38,7 +39,11 @@ def _specialized_cycles(op: Operator, cfg: HardwareConfig) -> int:
     """Cycles on a specialized baseline: only the matching functional
     units' share of the total logic works on this operator class."""
     mix = cfg.fu_mix
-    assert mix is not None
+    if mix is None:
+        raise InvariantViolation(
+            "repro.sched.dataflow._specialized_cycles",
+            f"hardware config {cfg.name} has no functional-unit mix",
+        )
     if op.kind.is_monolithic_ntt or op.kind.is_ntt_phase:
         fraction = mix.ntt
     elif op.kind is OpKind.AUTOMORPHISM:

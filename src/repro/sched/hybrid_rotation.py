@@ -16,6 +16,7 @@ from typing import List
 
 from repro.fhe.params import CKKSParams
 from repro.fhe.rotation import hybrid_cost_summary
+from repro.resilience.errors import InvariantViolation
 
 
 def r_hyb_candidates(n1: int, max_candidates: int = 4) -> List[int]:
@@ -117,5 +118,9 @@ def best_r_hyb_estimate(
         if best_cost is None or cost < best_cost:
             best_cost = cost
             best = r
-    assert best is not None
+    if best is None:
+        raise InvariantViolation(
+            "repro.sched.hybrid_rotation.best_r_hyb_estimate",
+            "no r_hyb candidate was costed (empty candidate range)",
+        )
     return best

@@ -93,6 +93,12 @@ class SchedulerConfig:
     #: On budget exhaustion, degrade to the greedy fallback (True) or
     #: raise :class:`SearchBudgetExceeded` (False).
     fallback_on_budget: bool = True
+    #: Post-``schedule()`` static verification gate
+    #: (:mod:`repro.analysis`): ``"error"`` raises
+    #: :class:`~repro.resilience.errors.VerificationError` on an illegal
+    #: schedule, ``"warn"`` downgrades the findings to a warning,
+    #: ``"off"`` skips the gate.
+    verify: str = "error"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -147,6 +153,11 @@ class SchedulerConfig:
             raise ConfigError(
                 "max_search_nodes", self.max_search_nodes,
                 "the node budget must be >= 1 (or None)",
+            )
+        if self.verify not in ("error", "warn", "off"):
+            raise ConfigError(
+                "verify", self.verify,
+                'the verification gate is "error", "warn", or "off"',
             )
 
     def validate_for_hardware(self, hw: HardwareConfig) -> None:
@@ -476,11 +487,48 @@ class Scheduler:
         return self._finish(Schedule(steps=final.steps), t0)
 
     def _finish(self, schedule: Schedule, t0: float) -> Schedule:
-        """Stamp search stats onto the scheduler and return."""
+        """Stamp search stats, run the verification gate, and return."""
         self.stats["search_seconds"] = _time.time() - t0
         self.stats["plans_cached"] = len(self._plan_cache)
         self.stats["degraded"] = 1.0 if schedule.degraded else 0.0
+        self._verify_gate(schedule)
         return schedule
+
+    def _verify_gate(self, schedule: Schedule) -> None:
+        """Statically verify the produced schedule (``config.verify``).
+
+        Every operator of ``self.graph`` appears in exactly one step of a
+        schedule this class produces, so the full rule set — order,
+        coverage, residency provenance — applies.  ``verify="warn"``
+        reports without failing; ``verify="off"`` skips the gate (the
+        evaluation pipeline re-verifies via the simulator's pre-run
+        check anyway).
+        """
+        if self.config.verify == "off":
+            return
+        # Imported lazily: repro.analysis depends on this module.
+        from repro.analysis.schedule_verify import verify_schedule
+        from repro.resilience.errors import VerificationError
+
+        report = verify_schedule(
+            schedule, self.hw, graph=self.graph, config=self.config
+        )
+        self.stats["verify_errors"] = float(len(report.errors))
+        if report.ok:
+            return
+        if self.config.verify == "error":
+            raise VerificationError(
+                f"schedule for graph {self.graph.name!r} failed static "
+                "verification",
+                report=report,
+            )
+        import warnings
+
+        warnings.warn(
+            f"schedule for graph {self.graph.name!r} failed static "
+            f"verification:\n{report.render_text()}",
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------
 

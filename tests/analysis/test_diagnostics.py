@@ -1,0 +1,81 @@
+"""Tests for the diagnostics core: catalog, report, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    RULES,
+    DiagnosticReport,
+    Severity,
+)
+
+
+class TestCatalog:
+    def test_rule_families_present(self):
+        families = {rid[0] for rid in RULES}
+        assert families == {"G", "C", "S", "L"}
+
+    def test_expected_rule_ids(self):
+        for rid in ["G001", "G002", "G003", "G004", "G005",
+                    "C001", "C002", "C003", "C004", "C005", "C006",
+                    "S001", "S002", "S003", "S004", "S005", "S006",
+                    "S007", "S008", "S009", "L001", "L002"]:
+            assert rid in RULES
+
+    def test_every_rule_has_hint_and_title(self):
+        for rule in RULES.values():
+            assert rule.title
+            assert rule.hint
+
+    def test_g004_is_warning(self):
+        assert RULES["G004"].severity is Severity.WARNING
+
+
+class TestReport:
+    def test_emit_uses_catalog_severity(self):
+        report = DiagnosticReport(pass_name="t")
+        d = report.emit("G001", "graph g", "cycle found")
+        assert d.severity is Severity.ERROR
+        assert d.hint == RULES["G001"].hint
+        assert not report.ok
+        assert not report.clean
+
+    def test_severity_override_downgrades(self):
+        report = DiagnosticReport(pass_name="t")
+        report.emit("S003", "step 0", "too big", severity=Severity.WARNING)
+        assert report.ok          # no errors
+        assert not report.clean   # but not silent
+        assert len(report.warnings) == 1
+
+    def test_unknown_rule_rejected(self):
+        report = DiagnosticReport(pass_name="t")
+        with pytest.raises(KeyError):
+            report.emit("X999", "nowhere", "no such rule")
+
+    def test_clean_report(self):
+        report = DiagnosticReport(pass_name="t")
+        assert report.ok and report.clean
+        assert "clean" in report.render_text()
+
+    def test_extend_merges_in_order(self):
+        a = DiagnosticReport(pass_name="a")
+        a.emit("G001", "x", "m1")
+        b = DiagnosticReport(pass_name="b")
+        b.emit("S001", "y", "m2")
+        a.extend(b)
+        assert a.rule_ids() == ["G001", "S001"]
+
+    def test_json_roundtrip(self):
+        report = DiagnosticReport(pass_name="t")
+        report.emit("C003", "op x", "level underflow")
+        payload = json.loads(report.to_json())
+        assert payload["pass"] == "t"
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "C003"
+
+    def test_render_text_contains_rule_and_location(self):
+        report = DiagnosticReport(pass_name="t")
+        report.emit("S009", "step 3", "seconds is nan")
+        text = report.render_text()
+        assert "S009" in text and "step 3" in text and "hint:" in text

@@ -1,0 +1,78 @@
+"""Graph verifier: clean builder graphs, seeded-mutation fixtures."""
+
+from repro.analysis import verify_graph
+from repro.fhe.params import parameter_set
+from repro.ir.builders import GraphBuilder
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator, OpKind
+from repro.ir.tensors import poly_tensor
+
+PARAMS = parameter_set("ARK")
+
+
+def _hmult_graph():
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", PARAMS.max_level),
+            b.input_ciphertext("y", PARAMS.max_level))
+    return b.graph
+
+
+def _ew(name, src, dst, limbs=2, n=16):
+    return Operator(name, OpKind.EW_ADD, limbs, n,
+                    inputs=[src], outputs=[dst])
+
+
+class TestCleanGraphs:
+    def test_hmult_graph_is_clean(self):
+        assert verify_graph(_hmult_graph()).clean
+
+
+class TestMutations:
+    def test_cycle_trips_g001(self):
+        g = OperatorGraph("cyclic")
+        t1, t2 = poly_tensor("t1", 2, 16), poly_tensor("t2", 2, 16)
+        a = _ew("a", t1, t2)
+        b = _ew("b", t2, poly_tensor("t3", 2, 16))
+        g.add_operator(a)
+        g.add_operator(b)
+        g._nx.add_edge(b, a, tensor=t1)  # corrupt: close the loop
+        report = verify_graph(g)
+        assert "G001" in report.rule_ids()
+
+    def test_duplicated_producer_trips_g002(self):
+        g = OperatorGraph("dup")
+        shared = poly_tensor("shared", 2, 16)
+        a = _ew("a", poly_tensor("in_a", 2, 16), shared)
+        b = _ew("b", poly_tensor("in_b", 2, 16), poly_tensor("out_b", 2, 16))
+        g.add_operator(a)
+        g.add_operator(b)
+        b.outputs.append(shared)  # corrupt: second producer, post-insertion
+        report = verify_graph(g)
+        assert "G002" in report.rule_ids()
+        assert any("shared" in d.location for d in report.errors)
+
+    def test_dangling_poly_input_trips_g003(self):
+        g = OperatorGraph("dangling")
+        ghost = poly_tensor("ghost", 2, 16)  # never produced
+        g.add_operator(_ew("a", ghost, poly_tensor("out", 2, 16)))
+        report = verify_graph(g)
+        assert "G003" in report.rule_ids()
+
+    def test_orphan_tensor_trips_g004_as_warning(self):
+        g = _hmult_graph()
+        orphan = poly_tensor("orphan", 2, 16)
+        g._tensors[orphan.uid] = orphan  # registered, never wired
+        report = verify_graph(g)
+        assert "G004" in report.rule_ids()
+        assert report.ok  # warnings only
+
+    def test_edge_tensor_mismatch_trips_g005(self):
+        g = OperatorGraph("badedge")
+        t = poly_tensor("t", 2, 16)
+        a = _ew("a", poly_tensor("in", 2, 16), t)
+        b = _ew("b", t, poly_tensor("out", 2, 16))
+        g.add_operator(a)
+        g.add_operator(b)
+        g._nx.edges[a, b]["tensor"] = poly_tensor("impostor", 2, 16)
+        report = verify_graph(g)
+        assert "G005" in report.rule_ids()

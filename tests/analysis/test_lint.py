@@ -1,0 +1,118 @@
+"""Repo lint pass: bare asserts, untyped raises, baseline mechanics."""
+
+import json
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.lint import (
+    DEFAULT_BASELINE,
+    lint_source,
+    load_baseline,
+    main,
+    regressions,
+    report_counts,
+    write_baseline,
+)
+
+
+def _lint(source):
+    report = DiagnosticReport(pass_name="lint")
+    lint_source(source, "mod.py", report)
+    return report
+
+
+class TestRules:
+    def test_bare_assert_trips_l001(self):
+        report = _lint("def f(x):\n    assert x > 0\n    return x\n")
+        assert report.rule_ids() == ["L001"]
+
+    def test_untyped_raises_trip_l002(self):
+        src = "\n".join(f"def f{i}():\n    raise {name}('boom')"
+                        for i, name in enumerate(
+                            ["ValueError", "RuntimeError", "Exception"]))
+        report = _lint(src)
+        assert report.rule_ids() == ["L002", "L002", "L002"]
+
+    def test_allowed_raises_are_clean(self):
+        src = (
+            "from repro.resilience.errors import ReproError\n"
+            "def f():\n"
+            "    raise NotImplementedError\n"
+            "def g(d, k):\n"
+            "    raise KeyError(k)\n"
+            "def h():\n"
+            "    try:\n"
+            "        f()\n"
+            "    except ReproError:\n"
+            "        raise\n"
+            "def i(mod):\n"
+            "    raise mod.SomeError('ok')\n"
+            "def j():\n"
+            "    raise ReproError('typed')\n"
+        )
+        assert _lint(src).clean
+
+    def test_syntax_error_reported_not_raised(self):
+        report = _lint("def broken(:\n")
+        assert report.rule_ids() == ["L002"]
+
+
+class TestBaseline:
+    def test_counts_roundtrip(self, tmp_path):
+        report = _lint("assert True\nraise ValueError('x')\n")
+        counts = report_counts(report)
+        assert counts == {("mod.py", "L001"): 1, ("mod.py", "L002"): 1}
+        path = tmp_path / "baseline.txt"
+        write_baseline(path, counts)
+        assert load_baseline(path) == counts
+
+    def test_regressions_only_above_baseline(self):
+        baseline = {("a.py", "L002"): 2}
+        assert regressions({("a.py", "L002"): 2}, baseline) == {}
+        assert regressions({("a.py", "L002"): 1}, baseline) == {}
+        worse = regressions({("a.py", "L002"): 3}, baseline)
+        assert worse == {("a.py", "L002"): (3, 2)}
+        fresh = regressions({("b.py", "L001"): 1}, baseline)
+        assert fresh == {("b.py", "L001"): (1, 0)}
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.txt") == {}
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("def f():\n    return 1\n")
+        assert main([str(tmp_path), "--baseline", str(tmp_path / "b.txt")]) == 0
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("assert True\n")
+        assert main([str(tmp_path), "--baseline", str(tmp_path / "b.txt")]) == 1
+
+    def test_write_baseline_then_pass(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("raise ValueError('legacy')\n")
+        baseline = tmp_path / "b.txt"
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        bad.write_text("raise ValueError('legacy')\nraise TypeError('new')\n")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("assert True\n")
+        code = main([str(tmp_path), "--baseline", str(tmp_path / "b.txt"),
+                     "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"][0]["rule"] == "L001"
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_has_no_regressions(self):
+        assert main(["src", "--baseline", str(DEFAULT_BASELINE)]) == 0
+
+    def test_analysis_package_itself_is_clean(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        assert main(["src/repro/analysis", "--baseline", str(empty)]) == 0

@@ -1,0 +1,122 @@
+"""Schedule legality verifier: clean DP schedules, seeded mutations."""
+
+import math
+
+import pytest
+
+from repro.analysis import verify_schedule, verify_steps
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.sched.scheduler import Scheduler, SchedulerConfig
+
+PARAMS = parameter_set("ARK")
+
+
+def _hmult_graph():
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", PARAMS.max_level),
+            b.input_ciphertext("y", PARAMS.max_level))
+    return b.graph
+
+
+@pytest.fixture()
+def scheduled():
+    """Fresh graph + schedule per test: mutations must not leak."""
+    graph = _hmult_graph()
+    schedule = Scheduler(graph, CROPHE_64,
+                         SchedulerConfig(verify="off")).schedule()
+    return graph, schedule
+
+
+class TestCleanSchedule:
+    def test_hmult_schedule_is_clean(self, scheduled):
+        graph, schedule = scheduled
+        report = verify_schedule(schedule, CROPHE_64, graph=graph,
+                                 config=SchedulerConfig(verify="off"))
+        assert report.clean
+
+
+class TestMutations:
+    def test_reordered_steps_trip_s001(self, scheduled):
+        graph, schedule = scheduled
+        schedule.steps.reverse()
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S001" in report.rule_ids()
+
+    def test_dropped_step_trips_s002(self, scheduled):
+        graph, schedule = scheduled
+        del schedule.steps[-1]
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S002" in report.rule_ids()
+
+    def test_oversubscribed_sram_trips_s003(self, scheduled):
+        graph, schedule = scheduled
+        step = schedule.steps[0]
+        step.plan.metrics.buffer_bytes = CROPHE_64.sram_capacity_bytes + 1
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S003" in report.rule_ids()
+
+    def test_pe_oversubscription_trips_s004(self, scheduled):
+        graph, schedule = scheduled
+        step = schedule.steps[0]
+        key = next(iter(step.plan.pe_allocation))
+        step.plan.pe_allocation[key] = CROPHE_64.num_pes + 1
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S004" in report.rule_ids()
+
+    def test_unprovenanced_resident_input_trips_s005(self, scheduled):
+        graph, schedule = scheduled
+        schedule.steps[0].resident_inputs.add(10**9)
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S005" in report.rule_ids()
+
+    def test_unprovenanced_resident_constant_trips_s006(self, scheduled):
+        graph, schedule = scheduled
+        schedule.steps[0].resident_constants.add(10**9)
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S006" in report.rule_ids()
+
+    def test_tiny_residency_budget_trips_s007(self, scheduled):
+        graph, schedule = scheduled
+        if not any(step.resident_constants for step in schedule.steps):
+            pytest.skip("schedule keeps no constants resident")
+        config = SchedulerConfig(constant_residency_fraction=1e-12,
+                                 verify="off")
+        report = verify_schedule(schedule, CROPHE_64, graph=graph,
+                                 config=config)
+        assert "S007" in report.rule_ids()
+
+    def test_kept_non_boundary_output_trips_s008(self, scheduled):
+        graph, schedule = scheduled
+        schedule.steps[0].kept_outputs.add(10**9)
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S008" in report.rule_ids()
+
+    def test_nan_seconds_trips_s009(self, scheduled):
+        graph, schedule = scheduled
+        schedule.steps[0].seconds = math.nan
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S009" in report.rule_ids()
+
+    def test_negative_cycles_trip_s009(self, scheduled):
+        graph, schedule = scheduled
+        schedule.steps[0].metrics.compute_cycles = -1
+        report = verify_schedule(schedule, CROPHE_64, graph=graph)
+        assert "S009" in report.rule_ids()
+
+
+class TestStepsOnlyEntry:
+    def test_verify_steps_catches_resource_errors(self, scheduled):
+        _, schedule = scheduled
+        schedule.steps[0].plan.metrics.buffer_bytes = (
+            CROPHE_64.sram_capacity_bytes + 1)
+        report = verify_steps(schedule.steps, CROPHE_64)
+        assert "S003" in report.rule_ids()
+
+    def test_verify_steps_skips_cross_step_rules(self, scheduled):
+        # Without the graph there is no dependency/coverage context.
+        _, schedule = scheduled
+        schedule.steps.reverse()
+        report = verify_steps(schedule.steps, CROPHE_64)
+        assert "S001" not in report.rule_ids()

@@ -1,0 +1,92 @@
+"""CKKS semantic verifier: clean lowerings, seeded-mutation fixtures."""
+
+from repro.analysis import verify_semantics
+from repro.fhe.params import parameter_set
+from repro.ir.builders import GraphBuilder
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator, OpKind
+from repro.ir.tensors import evk_tensor, poly_tensor, twiddle_tensor
+
+PARAMS = parameter_set("ARK")
+
+
+def _hmult_graph(split=None):
+    b = GraphBuilder(PARAMS, ntt_split=split)
+    b.hmult(b.input_ciphertext("x", PARAMS.max_level),
+            b.input_ciphertext("y", PARAMS.max_level))
+    return b.graph
+
+
+def _single(op):
+    g = OperatorGraph("fixture")
+    g.add_operator(op)
+    return g
+
+
+class TestCleanLowerings:
+    def test_hmult_is_clean(self):
+        assert verify_semantics(_hmult_graph(), PARAMS).clean
+
+    def test_decomposed_hmult_is_clean(self):
+        root = 1 << (PARAMS.log_n // 2)
+        graph = _hmult_graph(split=(root, PARAMS.n // root))
+        assert verify_semantics(graph, PARAMS).clean
+
+
+class TestMutations:
+    def test_output_shape_mismatch_trips_c001(self):
+        op = Operator("bad", OpKind.EW_ADD, 4, 16,
+                      inputs=[poly_tensor("i", 4, 16)],
+                      outputs=[poly_tensor("o", 3, 16)])  # wrong rows
+        report = verify_semantics(_single(op))
+        assert "C001" in report.rule_ids()
+
+    def test_limb_inflation_trips_c002(self):
+        op = Operator("inflate", OpKind.EW_ADD, 9, 16,
+                      inputs=[poly_tensor("i", 4, 16)],
+                      outputs=[poly_tensor("o", 9, 16)])
+        report = verify_semantics(_single(op))
+        assert "C002" in report.rule_ids()
+
+    def test_negative_level_walk_trips_c003(self):
+        # A rescale walk gone negative leaves a zero-limb polynomial.
+        op = Operator("underflow", OpKind.EW_ADD, 0, 16,
+                      inputs=[poly_tensor("i", 0, 16)],
+                      outputs=[poly_tensor("o", 0, 16)])
+        report = verify_semantics(_single(op))
+        assert "C003" in report.rule_ids()
+
+    def test_bad_twiddle_length_trips_c004(self):
+        op = Operator("phase", OpKind.NTT_COL, 2, 16, n_split=(4, 4),
+                      inputs=[poly_tensor("i", 2, 16),
+                              twiddle_tensor("tw", 5)],  # not 16, 4, or 4
+                      outputs=[poly_tensor("o", 2, 16)])
+        report = verify_semantics(_single(op))
+        assert "C004" in report.rule_ids()
+
+    def test_evk_digit_mismatch_trips_c005(self):
+        op = Operator("ksk", OpKind.KSK_INP, 6, 16, digits=3,
+                      inputs=[poly_tensor(f"d{j}", 6, 16) for j in range(3)]
+                      + [evk_tensor("evk", beta=2, limbs=6, n=16)],
+                      outputs=[poly_tensor("ob", 6, 16),
+                               poly_tensor("oa", 6, 16)])
+        report = verify_semantics(_single(op))
+        assert "C005" in report.rule_ids()
+
+    def test_rescale_dropping_two_limbs_trips_c006(self):
+        op = Operator("resc", OpKind.EW_MULADD, 2, 16,
+                      tag="hmult.rescale.correct",
+                      inputs=[poly_tensor("wide", 4, 16),
+                              poly_tensor("last", 1, 16)],
+                      outputs=[poly_tensor("o", 2, 16)])  # 4 -> 2: illegal
+        report = verify_semantics(_single(op))
+        assert "C006" in report.rule_ids()
+
+    def test_correct_rescale_is_clean_for_c006(self):
+        op = Operator("resc", OpKind.EW_MULADD, 3, 16,
+                      tag="hmult.rescale.correct",
+                      inputs=[poly_tensor("wide", 4, 16),
+                              poly_tensor("last", 1, 16)],
+                      outputs=[poly_tensor("o", 3, 16)])
+        report = verify_semantics(_single(op))
+        assert "C006" not in report.rule_ids()
