@@ -1,6 +1,6 @@
 # Convenience targets for the CROPHE reproduction.
 
-.PHONY: install test bench bench-full experiments experiments-quick examples lint verify-static
+.PHONY: install test bench bench-check bench-pytest bench-full trace experiments experiments-quick examples lint verify-static
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,7 +8,24 @@ install:
 test:
 	pytest tests/
 
+# Telemetry baseline: run the quick experiment suite with repro.obs on
+# and write the committed BENCH_seed.json (wall times, scheduler search
+# counters, per-resource busy cycles).  Compare runs with
+# `python -m repro.obs diff BENCH_seed.json <new>`.
 bench:
+	PYTHONPATH=src python -m repro.obs bench --quick --out BENCH_seed.json
+
+# Re-run the bench to a scratch file and gate against the committed
+# baseline (fails on >10% regression of any deterministic counter).
+bench-check:
+	PYTHONPATH=src python -m repro.obs bench --quick --out bench_current.json
+	PYTHONPATH=src python -m repro.obs diff BENCH_seed.json bench_current.json
+
+# Export a quick ResNet-20 Perfetto trace (open at ui.perfetto.dev).
+trace:
+	PYTHONPATH=src python -m repro.obs trace --workload resnet20 --out-dir obs_trace
+
+bench-pytest:
 	pytest benchmarks/ --benchmark-only
 
 bench-full:

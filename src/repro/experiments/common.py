@@ -22,6 +22,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.mad import MadScheduler
+from repro.obs.events import SINK as _EVENT_SINK
+from repro.obs.tracer import span as _span
 from repro.resilience.errors import ConfigError, InfeasibleScheduleError
 from repro.fhe.params import CKKSParams
 from repro.hw.config import HardwareConfig
@@ -194,6 +196,7 @@ def _evaluate_once(
     residency = base_config.keep_fraction
     engine = SimulationEngine(
         hw,
+        collect_trace=_EVENT_SINK.enabled,
         residency_fraction=residency,
         constant_share=clusters,
     )
@@ -204,30 +207,42 @@ def _evaluate_once(
     segment_seconds: Dict[str, float] = {}
 
     degraded = False
-    for segment in workload.segments:
-        cached = _schedule_segment(
-            segment.graph, hw, point.dataflow, config, options.ntt_split
-        )
-        degraded = degraded or cached.degraded
-        # Shallow copy: segment repeat counts differ across workloads.
-        schedule = Schedule(
-            steps=cached.steps, repeat=segment.repeat,
-            degraded=cached.degraded, degraded_reason=cached.degraded_reason,
-        )
-        result = engine.run(schedule)
-        total_seconds += result.total_seconds
-        total_groups += result.num_groups
-        traffic.add(result.traffic)
-        segment_seconds[segment.name] = (
-            segment_seconds.get(segment.name, 0.0) + result.total_seconds
-        )
-        for key, value in (
-            ("pe", result.utilization.pe),
-            ("noc", result.utilization.noc),
-            ("sram", result.utilization.sram_bw),
-            ("dram", result.utilization.dram_bw),
-        ):
-            util_weighted[key] += value * result.total_seconds
+    eval_span = _span(
+        "eval.variant", design=point.label, workload=workload_name,
+        r_hyb=r_hyb, clusters=clusters,
+    )
+    with eval_span:
+        for segment in workload.segments:
+            cached = _schedule_segment(
+                segment.graph, hw, point.dataflow, config, options.ntt_split
+            )
+            degraded = degraded or cached.degraded
+            # Shallow copy: segment repeat counts differ across workloads.
+            schedule = Schedule(
+                steps=cached.steps, repeat=segment.repeat,
+                degraded=cached.degraded,
+                degraded_reason=cached.degraded_reason,
+            )
+            result = engine.run(schedule)
+            if _EVENT_SINK.enabled:
+                _EVENT_SINK.add_run(
+                    result.events,
+                    label=f"{point.label}/{workload_name}/{segment.name}",
+                )
+            total_seconds += result.total_seconds
+            total_groups += result.num_groups
+            traffic.add(result.traffic)
+            segment_seconds[segment.name] = (
+                segment_seconds.get(segment.name, 0.0) + result.total_seconds
+            )
+            for key, value in (
+                ("pe", result.utilization.pe),
+                ("noc", result.utilization.noc),
+                ("sram", result.utilization.sram_bw),
+                ("dram", result.utilization.dram_bw),
+            ):
+                util_weighted[key] += value * result.total_seconds
+        eval_span.set("seconds", total_seconds)
 
     if total_seconds > 0:
         util = UtilizationReport(
@@ -317,8 +332,10 @@ def evaluate_workload(
 
 
 def clear_cache() -> None:
-    """Drop all cached evaluation results (tests and sweeps)."""
+    """Drop all cached evaluation results and schedules (tests, sweeps,
+    and the bench harness, which must measure search work from cold)."""
     _CACHE.clear()
+    _SCHED_CACHE.clear()
 
 
 def speedup(baseline: EvalResult, contender: EvalResult) -> float:

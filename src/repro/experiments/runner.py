@@ -35,6 +35,26 @@ Resilience (each table/figure is one *cell*):
   with exit status 5 on findings; ``--verify-json`` prints the reports
   as JSON.
 
+Observability (:mod:`repro.obs`):
+
+* ``--trace-dir DIR`` turns telemetry on inside every cell and writes
+  per-cell artifacts into ``DIR``: a metrics snapshot, the span tree
+  (text/JSON/Perfetto), and — because event capture is enabled — the
+  raw simulator trace (``*.trace.jsonl``) plus its Perfetto rendering
+  (``*.sim.perfetto.json``, opens at https://ui.perfetto.dev).
+  Artifacts are written in the cell's (sub)process, also when the cell
+  fails, so a crashed cell still leaves its telemetry behind;
+* ``--metrics-json PATH`` writes the *runner's own* metrics document
+  after the run: ``runner.cell_seconds.<cell>`` gauges,
+  ``runner.exit.<status>`` counters, and ``runner.verify_seconds``.
+
+Exit codes and ``--verify``: verification runs *before* any cell, so
+exit status 5 means no cell executed (the metrics document, when
+requested, still records ``runner.verify_seconds``). Once cells run,
+the exit code reports the worst cell failure class in branch-priority
+order — config (2) over budget (3) over simulation (4) over other (1);
+0 means every cell succeeded.
+
 ``REPRO_FORCE_FAIL`` (comma-separated cell names) makes the named cells
 raise a :class:`~repro.resilience.errors.SimulationError` — a test hook
 for exercising the failure paths end-to-end.
@@ -43,6 +63,7 @@ for exercising the failure paths end-to-end.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 import time
@@ -158,6 +179,41 @@ EXPERIMENTS = {
 }
 
 
+def _observed_cell(name, fn, trace_dir, quick=False):
+    """Run one cell with telemetry on, dumping artifacts into trace_dir.
+
+    Module-level (used via :func:`functools.partial`) so the callable
+    pickles under both the fork and spawn multiprocessing contexts.
+    Artifacts are flushed in a ``finally`` so a failing cell still
+    leaves its spans/metrics/trace behind for postmortem.
+    """
+    from repro import obs
+
+    obs.reset()
+    obs.enable(events=True)
+    try:
+        return fn(quick=quick)
+    finally:
+        try:
+            obs.dump_cell_artifacts(name, trace_dir)
+        finally:
+            obs.disable()
+
+
+def _write_runner_metrics(path, statuses, verify_seconds=None) -> None:
+    """Write the parent-side ``repro-metrics`` document for this run."""
+    from repro.obs import MetricsRegistry, metrics_document
+    from repro.obs.export import write_json
+
+    registry = MetricsRegistry(enabled=True)
+    for s in statuses:
+        registry.gauge(f"runner.cell_seconds.{s.name}").set(round(s.seconds, 3))
+        registry.counter(f"runner.exit.{s.status}").inc()
+    if verify_seconds is not None:
+        registry.gauge("runner.verify_seconds").set(round(verify_seconds, 3))
+    write_json(metrics_document(registry.snapshot()), path)
+
+
 def _run_verify(as_json: bool) -> int:
     """Statically verify the shipped workloads before any cell runs.
 
@@ -267,18 +323,36 @@ def main(argv=None) -> int:
         "--verify-json", action="store_true",
         help="like --verify, but print the reports as JSON",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable telemetry inside every cell and write per-cell "
+             "artifacts (metrics, span tree, simulator trace + Perfetto "
+             "rendering) into DIR",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the runner's own metrics document (cell wall times, "
+             "exit-status counters, verify cost) to PATH after the run",
+    )
     args = parser.parse_args(argv)
     if args.search_seconds is not None:
         os.environ["REPRO_MAX_SEARCH_SECONDS"] = str(args.search_seconds)
     if args.search_nodes is not None:
         os.environ["REPRO_MAX_SEARCH_NODES"] = str(args.search_nodes)
+    verify_seconds = None
     if args.verify or args.verify_json:
+        verify_start = time.time()
         code = _run_verify(as_json=args.verify_json)
+        verify_seconds = time.time() - verify_start
         if code != EXIT_OK:
             print(
                 "verification failed; not running any cell",
                 file=sys.stderr,
             )
+            if args.metrics_json:
+                _write_runner_metrics(
+                    args.metrics_json, [], verify_seconds=verify_seconds
+                )
             return code
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -300,6 +374,10 @@ def main(argv=None) -> int:
             statuses.append(status)
             continue
         fn = EXPERIMENTS[name]
+        if args.trace_dir:
+            fn = functools.partial(
+                _observed_cell, name, EXPERIMENTS[name], args.trace_dir
+            )
         if args.no_isolation:
             start = time.time()
             try:
@@ -332,6 +410,11 @@ def main(argv=None) -> int:
         statuses.append(status)
     _print_report(statuses)
     print(f"artifact: {artifact.path}")
+    if args.metrics_json:
+        _write_runner_metrics(
+            args.metrics_json, statuses, verify_seconds=verify_seconds
+        )
+        print(f"metrics: {args.metrics_json}")
     return _exit_code(statuses)
 
 

@@ -1,0 +1,258 @@
+"""``python -m repro.obs``: the observability command line.
+
+Four subcommands::
+
+    python -m repro.obs bench --quick --out BENCH_seed.json
+    python -m repro.obs diff BENCH_seed.json bench_new.json
+    python -m repro.obs summarize BENCH_seed.json
+    python -m repro.obs trace --workload resnet20 --out-dir obs_trace
+
+* ``bench`` runs the experiment suite in-process with telemetry on and
+  writes a ``repro-bench`` document (``make bench`` wraps this).
+* ``diff`` compares two bench/metrics documents; exits 1 when any
+  gated metric regressed beyond ``--threshold`` (default 10%).
+  Wall-clock metrics are reported but not gated unless
+  ``--include-time``.
+* ``summarize`` pretty-prints a bench/metrics document, or — given a
+  ``.jsonl`` simulator trace — the per-group bottleneck-attribution
+  table.
+* ``trace`` runs one design/workload evaluation with event capture and
+  exports the simulated timeline as Chrome/Perfetto ``trace_json``
+  (open the ``*.sim.perfetto.json`` file at https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.obs.bench import load_bench, run_bench, write_bench
+from repro.obs.diffing import DEFAULT_THRESHOLD, diff_documents
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    document = run_bench(
+        quick=not args.full,
+        names=args.only or None,
+    )
+    write_bench(document, args.out)
+    experiments = document.get("experiments", {})
+    for name, payload in experiments.items():
+        print(f"{name:10s} {payload['wall_seconds']:8.2f}s  "
+              f"{len(payload['metrics'])} metric(s)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    old = load_bench(args.old)
+    new = load_bench(args.new)
+    report = diff_documents(
+        old, new, threshold=args.threshold, include_time=args.include_time
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if not report.ok:
+        print(
+            f"FAIL: {len(report.regressions)} gated metric(s) regressed "
+            f"beyond {report.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:
+        print("OK: no gated regressions")
+    return 0
+
+
+def _summarize_bench(document: dict) -> None:
+    experiments = document.get("experiments", {})
+    if isinstance(experiments, dict):
+        print(f"{'experiment':12s}{'wall s':>9s}{'metrics':>9s}")
+        for name in sorted(experiments):
+            payload = experiments[name] or {}
+            wall = payload.get("wall_seconds", float("nan"))
+            metrics = payload.get("metrics", {})
+            print(f"{name:12s}{wall:9.2f}{len(metrics):9d}")
+    totals = document.get("totals", {})
+    if isinstance(totals, dict) and totals:
+        print("-- suite counter totals --")
+        for name in sorted(totals):
+            print(f"  {name:<44s} {totals[name]:>14g}")
+
+
+def _summarize_metrics(metrics: dict) -> None:
+    from repro.obs.diffing import _comparable_value
+
+    for name in sorted(metrics):
+        value = _comparable_value(name, metrics[name])
+        shown = "-" if value is None else f"{value:g}"
+        print(f"  {name:<44s} {shown:>14s}")
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.document.endswith(".jsonl"):
+        from repro.obs.attribution import attribute_events, format_attribution
+        from repro.sim.trace import load_trace
+
+        rows = attribute_events(load_trace(args.document))
+        print(format_attribution(rows))
+        return 0
+    document = load_bench(args.document)
+    if document.get("kind") == "repro-bench":
+        _summarize_bench(document)
+        return 0
+    metrics = document.get("metrics", document)
+    _summarize_metrics(metrics if isinstance(metrics, dict) else {})
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.baselines.accelerators import baseline_config, paired_crophe
+    from repro.experiments.common import (
+        DesignPoint,
+        _evaluate_once,
+        clear_cache,
+    )
+    from repro.fhe.params import parameter_set
+    from repro.obs.attribution import attribute_events, format_attribution
+
+    params = parameter_set(args.baseline)
+    if args.design == "crophe":
+        hw = paired_crophe(args.baseline)
+        point = DesignPoint(f"CROPHE-{hw.word_bits}", hw)
+    elif args.design == "mad":
+        hw = baseline_config(args.baseline)
+        point = DesignPoint(f"{args.baseline}+MAD", hw, dataflow="mad")
+    else:
+        hw = baseline_config(args.baseline)
+        point = DesignPoint(args.baseline, hw)
+    clear_cache()
+    obs.reset()
+    obs.enable(events=True)
+    try:
+        result = _evaluate_once(
+            point, args.workload, params,
+            r_hyb=args.r_hyb, decompose_ntt=False, clusters=1,
+            scheduler_config=None,
+        )
+        name = f"{args.workload}_{point.label}".replace("/", "_")
+        paths = obs.dump_cell_artifacts(name, args.out_dir)
+        print(format_attribution(attribute_events(obs.SINK.flattened())))
+        print(
+            f"\n{point.label} on {args.workload}: "
+            f"{result.ms:.3f} ms simulated, {result.num_groups} group(s)"
+        )
+        for suffix in sorted(paths):
+            print(f"  wrote {paths[suffix]}")
+        print(
+            "open the *.sim.perfetto.json file at https://ui.perfetto.dev"
+        )
+    finally:
+        obs.disable()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, diff, benchmark, and trace telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the experiment suite with telemetry on"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", default=True,
+        help="quick experiment variants (the default)",
+    )
+    p_bench.add_argument(
+        "--full", action="store_true",
+        help="full (slow) experiment variants",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH.json", metavar="PATH",
+        help="output document path (default BENCH.json)",
+    )
+    p_bench.add_argument(
+        "--only", nargs="+", metavar="CELL",
+        help="restrict to the named experiment cells",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two bench/metrics documents"
+    )
+    p_diff.add_argument("old", help="baseline document (e.g. BENCH_seed.json)")
+    p_diff.add_argument("new", help="candidate document")
+    p_diff.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative-change band for a verdict (default 0.10)",
+    )
+    p_diff.add_argument(
+        "--include-time", action="store_true",
+        help="also gate wall-clock (*_seconds) metrics — noisy across "
+             "machines, off by default",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_sum = sub.add_parser(
+        "summarize",
+        help="pretty-print a bench/metrics document or a .jsonl trace",
+    )
+    p_sum.add_argument(
+        "document",
+        help="a bench/metrics JSON document, or a simulator trace "
+             "(.jsonl) for a bottleneck-attribution table",
+    )
+    p_sum.set_defaults(fn=_cmd_summarize)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one evaluation with event capture and export a "
+             "Perfetto trace",
+    )
+    p_trace.add_argument(
+        "--workload", default="resnet20",
+        choices=("bootstrapping", "helr", "resnet20"),
+        help="workload to trace (default resnet20)",
+    )
+    p_trace.add_argument(
+        "--baseline", default="SHARP", choices=("ARK", "SHARP"),
+        help="baseline pairing for hardware/parameters (default SHARP)",
+    )
+    p_trace.add_argument(
+        "--design", default="crophe",
+        choices=("crophe", "baseline", "mad"),
+        help="which design point to trace (default crophe)",
+    )
+    p_trace.add_argument(
+        "--r-hyb", type=int, default=1, metavar="R",
+        help="hybrid-rotation radix for the crophe design (default 1)",
+    )
+    p_trace.add_argument(
+        "--out-dir", default="obs_trace", metavar="DIR",
+        help="artifact directory (default obs_trace/)",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Reader closed early (e.g. `summarize ... | head`); not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

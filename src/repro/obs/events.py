@@ -1,0 +1,98 @@
+"""A process-wide sink collecting simulator event streams.
+
+The evaluation pipeline (``repro.experiments.common``) creates one
+:class:`~repro.sim.engine.SimulationEngine` per design point and runs
+many segment schedules through it; each run's
+:class:`~repro.sim.trace.TraceEvent` list lives on its ``SimResult``.
+When a caller wants the *whole* story — the experiment runner's
+``--trace-dir``, or the ``python -m repro.obs trace`` exporter — the
+pipeline forwards every run's events here, labeled, so exporters can
+re-base each run onto one combined timeline.
+
+Disabled by default (the pipeline then skips event collection
+entirely, keeping simulation memory flat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.trace import TraceEvent
+
+__all__ = ["EventRun", "EventSink", "SINK"]
+
+
+@dataclass
+class EventRun:
+    """One simulated execution's event stream, labeled."""
+
+    label: str
+    events: List[TraceEvent]
+
+    @property
+    def span_cycles(self) -> int:
+        """Last stamped cycle plus that event's duration."""
+        end = 0
+        for e in self.events:
+            end = max(end, e.start_cycle + max(e.cycles, 0))
+        return end
+
+
+class EventSink:
+    """Collects labeled event runs while enabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.runs: List[EventRun] = []
+
+    def enable(self) -> None:
+        """Start accepting event runs."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop accepting event runs (recorded runs are kept)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every recorded run."""
+        self.runs = []
+
+    def add_run(self, events: Sequence[TraceEvent], label: str = "") -> None:
+        """Record one execution's events (no-op while disabled)."""
+        if self.enabled:
+            self.runs.append(EventRun(label=label, events=list(events)))
+
+    def flattened(self) -> List[TraceEvent]:
+        """Every run's events re-based onto one combined timeline.
+
+        Each run is shifted past the previous run's end, and its groups
+        are offset so lane indices stay unique across runs — the
+        combined stream exports as one coherent Perfetto timeline.
+        """
+        out: List[TraceEvent] = []
+        cycle_offset = 0
+        group_offset = 0
+        for run in self.runs:
+            max_group = -1
+            for e in run.events:
+                max_group = max(max_group, e.group)
+                out.append(
+                    TraceEvent(
+                        kind=e.kind,
+                        group=e.group + group_offset,
+                        name=e.name,
+                        bytes=e.bytes,
+                        cycles=e.cycles,
+                        pes=e.pes,
+                        hops=e.hops,
+                        start_cycle=e.start_cycle + cycle_offset,
+                    )
+                )
+            cycle_offset += run.span_cycles
+            group_offset += max_group + 1
+        return out
+
+
+#: The process-wide sink the evaluation pipeline reports into.
+SINK = EventSink()

@@ -1,0 +1,181 @@
+"""Named counters, gauges, and histograms with diffable snapshots.
+
+The :class:`MetricsRegistry` is the numeric half of ``repro.obs``:
+instrumented layers record *what happened how often / how much* here
+(the tracer records *when*).  Like the tracer it is disabled by
+default — hot paths guard their recording on :attr:`MetricsRegistry.
+enabled` so telemetry-off runs pay one attribute read.
+
+Metric names form a **closed catalog** (DESIGN.md "Observability"):
+dotted, lowercase, ``<layer>.<what>`` with an optional trailing
+``.<dimension>`` (e.g. ``sim.busy_cycles.dram``).  Names ending in
+``_seconds`` are wall-clock measurements and are treated as *noisy* by
+the regression differ (reported, never gated, unless asked).
+
+Snapshots are plain ``{name: {"type": ..., ...}}`` dicts, stable under
+JSON round-trips, and are what ``python -m repro.obs diff`` compares.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "is_time_metric",
+]
+
+Number = Union[int, float]
+
+
+def is_time_metric(name: str) -> bool:
+    """Whether a metric carries wall-clock time (noisy across runs)."""
+    return name.endswith("_seconds") or name.endswith("wall_seconds")
+
+
+class Counter:
+    """Monotonically increasing count (events, cycles, bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        """Rendered form for snapshots and diffs."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins measurement (a size, a fraction, a wall time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge with the latest measurement."""
+        self.value = value
+
+    def snapshot(self) -> Dict[str, object]:
+        """Rendered form for snapshots and diffs."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/total/min/max — enough for mean and extremes without
+    bucket configuration; the differ compares ``count`` (deterministic)
+    and reports ``total`` informationally.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Rendered form for snapshots and diffs."""
+        out: Dict[str, object] = {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["mean"] = self.total / self.count
+        return out
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics.
+
+    ``counter()``/``gauge()``/``histogram()`` return live instrument
+    objects; asking for an existing name with a different type raises
+    ``KeyError`` (names are a closed catalog — a type change is a bug).
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording metric updates."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (already-registered metrics are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh snapshot scope)."""
+        with self._lock:
+            self._metrics = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls()
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise KeyError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """Create-or-get the named counter."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Create-or-get the named gauge."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Create-or-get the named histogram."""
+        return self._get(name, Histogram)
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time ``{name: rendered metric}`` map, name-sorted."""
+        with self._lock:
+            return {
+                name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)
+            }
+
+
+#: The process-wide registry instrumented code talks to.
+REGISTRY = MetricsRegistry(enabled=bool(os.environ.get("REPRO_OBS")))

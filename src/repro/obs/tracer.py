@@ -1,0 +1,221 @@
+"""Structured, nested spans over the hot layers of the stack.
+
+A :class:`Span` is one timed region with attributes; spans nest, so one
+``sched.schedule`` span holds its ``sched.verify`` child and a
+``runner.cell`` span holds every search and simulation it triggered.
+The process-wide :class:`Tracer` is **disabled by default**: the
+``span()`` fast path then returns a shared no-op handle without
+allocating, so instrumented hot paths cost one attribute read when
+telemetry is off (guarded by a test in ``tests/obs``).
+
+Usage — context manager or decorator::
+
+    from repro import obs
+
+    with obs.span("sched.schedule", graph=graph.name) as sp:
+        ...
+        sp.set("windows", meter.nodes)
+
+    @obs.traced("sim.run")
+    def run(self, schedule): ...
+
+Span completion is thread-safe: each thread keeps its own open-span
+stack, and finished root spans are appended to the shared tracer under
+a lock.  The span *taxonomy* is a closed catalog documented in
+DESIGN.md ("Observability"); invent new names there first.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "TRACER", "span", "traced"]
+
+
+@dataclass
+class Span:
+    """One timed region: name, wall-clock bounds, attributes, children.
+
+    Times are ``time.perf_counter()`` seconds; exporters re-base them
+    onto a common origin.  ``end`` is ``None`` while the span is open.
+    """
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    thread_id: int = 0
+    #: The tracer that opened this span (closing reports back to it).
+    tracer: Optional["Tracer"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable recursive rendering."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    # Context-manager protocol: closing a span pops it from its
+    # thread's stack (the tracer wired these in ``span()``).
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        (self.tracer or TRACER)._finish(self)
+
+
+class _NoopSpan:
+    """The shared disabled-path handle: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Process-wide span collector.
+
+    Disabled by default; ``enable()`` (or the ``REPRO_OBS=1``
+    environment variable) turns recording on.  Finished *root* spans
+    accumulate in :attr:`roots` until :meth:`clear`.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (already-recorded spans are kept)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every recorded span (open stacks are per-thread)."""
+        with self._lock:
+            self.roots = []
+
+    # -- recording -----------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span (returns the no-op handle when disabled)."""
+        if not self.enabled:
+            return _NOOP
+        sp = Span(
+            name=name,
+            start=time.perf_counter(),
+            attrs=attrs,
+            thread_id=threading.get_ident(),
+            tracer=self,
+        )
+        self._stack().append(sp)
+        return sp
+
+    def _finish(self, sp: Span) -> None:
+        sp.end = time.perf_counter()
+        stack = self._stack()
+        # Unwind to this span: children left open by an exception are
+        # closed with the same end time and attached to their parent.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                break
+            if top.end is None:
+                top.end = sp.end
+            if stack:
+                stack[-1].children.append(top)
+            else:  # pragma: no cover - unbalanced exits
+                with self._lock:
+                    self.roots.append(top)
+        if stack:
+            stack[-1].children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+
+    def traced(self, name: str, **attrs: Any) -> Callable:
+        """Decorator form of :meth:`span`."""
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- inspection ----------------------------------------------------
+
+    def snapshot_roots(self) -> List[Span]:
+        """A point-in-time copy of the finished root-span list."""
+        with self._lock:
+            return list(self.roots)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first walk over every recorded span."""
+        stack = self.snapshot_roots()
+        while stack:
+            sp = stack.pop()
+            yield sp
+            stack.extend(sp.children)
+
+
+#: The process-wide tracer instrumented code talks to.
+TRACER = Tracer(enabled=bool(os.environ.get("REPRO_OBS")))
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the process-wide tracer."""
+    return TRACER.span(name, **attrs)
+
+
+def traced(name: str, **attrs: Any) -> Callable:
+    """Decorate a function with a span on the process-wide tracer."""
+    return TRACER.traced(name, **attrs)

@@ -187,6 +187,30 @@ class VerificationError(ReproError):
         super().__init__(message + detail)
 
 
+class TraceError(ReproError, ValueError):
+    """A trace file could not be parsed.
+
+    Raised by :func:`repro.sim.trace.iter_trace` /
+    :func:`~repro.sim.trace.load_trace` for malformed JSON lines,
+    unknown event kinds, and records with missing or unexpected fields
+    — always naming the file and 1-based line number so a bad trace is
+    fixable from the message alone.  Subclasses :class:`ValueError`
+    because that is what ``json``/``enum`` lookups historically leaked.
+
+    Attributes:
+        path: trace file being read.
+        line: 1-based line number of the offending record (0 when the
+            failure is not tied to one line).
+    """
+
+    def __init__(self, message: str, path: str = "", line: int = 0):
+        self.path = path
+        self.line = line
+        where = f"{path}:{line}" if line else path
+        prefix = f"{where}: " if where else ""
+        super().__init__(f"{prefix}{message}")
+
+
 class SimulationError(ReproError):
     """The simulator was handed or produced something non-physical.
 

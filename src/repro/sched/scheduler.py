@@ -38,6 +38,8 @@ from repro.hw.config import HardwareConfig
 from repro.ir.graph import OperatorGraph
 from repro.ir.loops import power_of_two_splits
 from repro.ir.operators import Operator
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.tracer import span as _span
 from repro.resilience.budget import BudgetMeter, SearchBudget
 from repro.resilience.checkpoint import SearchCheckpoint, search_fingerprint
 from repro.resilience.errors import (
@@ -361,6 +363,8 @@ class Scheduler:
                 dp[j] = None
             return 0
         self.stats["resumed_from"] = float(ckpt.next_i)
+        if _METRICS.enabled:
+            _METRICS.counter("sched.checkpoint_restores").inc()
         return min(max(ckpt.next_i, 0), len(order))
 
     def _save_checkpoint(
@@ -381,6 +385,8 @@ class Scheduler:
         SearchCheckpoint(
             fingerprint=fingerprint, next_i=next_i, covers=covers
         ).save(self.checkpoint_path)
+        if _METRICS.enabled:
+            _METRICS.counter("sched.checkpoint_saves").inc()
 
     # ------------------------------------------------------------------
 
@@ -395,7 +401,23 @@ class Scheduler:
         :class:`SearchBudgetExceeded` instead). An infeasible DP cover
         likewise falls back to greedy before giving up with a typed
         :class:`InfeasibleScheduleError`.
+
+        When telemetry is on (:mod:`repro.obs`) the search runs inside a
+        ``sched.schedule`` span and stamps the search counters of the
+        metric catalog (windows explored, checkpoint activity, budget
+        spend, degraded fallbacks); when it is off the only overhead is
+        one flag check.
         """
+        with _span(
+            "sched.schedule", graph=self.graph.name,
+            ops=self.graph.num_operators,
+        ) as sp:
+            schedule = self._schedule_impl()
+            sp.set("windows_explored", self.stats.get("windows_explored", 0))
+            sp.set("degraded", schedule.degraded)
+            return schedule
+
+    def _schedule_impl(self) -> Schedule:
         t0 = _time.time()
         order = self.graph.operators_topological()
         n = len(order)
@@ -412,6 +434,7 @@ class Scheduler:
                 last_use[t.uid] = max(last_use.get(t.uid, -1), pos[op.uid])
 
         meter = BudgetMeter(self.config.budget())
+        self._meter = meter
         dp: List[Optional[_DpState]] = [None] * (n + 1)
         dp[0] = self._initial_state(keep_budget)
         fingerprint = self._search_fingerprint(order)
@@ -491,6 +514,19 @@ class Scheduler:
         self.stats["search_seconds"] = _time.time() - t0
         self.stats["plans_cached"] = len(self._plan_cache)
         self.stats["degraded"] = 1.0 if schedule.degraded else 0.0
+        meter: Optional[BudgetMeter] = getattr(self, "_meter", None)
+        if meter is not None:
+            self.stats["windows_explored"] = float(meter.nodes)
+        if _METRICS.enabled:
+            _METRICS.counter("sched.searches").inc()
+            _METRICS.counter("sched.plans_cached").inc(len(self._plan_cache))
+            _METRICS.histogram("sched.search_seconds").observe(
+                self.stats["search_seconds"]
+            )
+            if meter is not None:
+                _METRICS.counter("sched.windows_explored").inc(meter.nodes)
+            if schedule.degraded:
+                _METRICS.counter("sched.degraded_fallbacks").inc()
         self._verify_gate(schedule)
         return schedule
 
@@ -510,9 +546,10 @@ class Scheduler:
         from repro.analysis.schedule_verify import verify_schedule
         from repro.resilience.errors import VerificationError
 
-        report = verify_schedule(
-            schedule, self.hw, graph=self.graph, config=self.config
-        )
+        with _span("sched.verify", graph=self.graph.name):
+            report = verify_schedule(
+                schedule, self.hw, graph=self.graph, config=self.config
+            )
         self.stats["verify_errors"] = float(len(report.errors))
         if report.ok:
             return

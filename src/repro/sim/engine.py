@@ -31,10 +31,16 @@ from repro.hw.noc import MeshNoc
 from repro.hw.pe import operator_cycles
 from repro.hw.transpose import TransposeUnit
 from repro.ir.operators import OpKind
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.tracer import span as _span
 from repro.sched.dataflow import Schedule, ScheduledStep
 from repro.sched.mapper import GroupMapping, map_group
-from repro.sim.stats import TrafficReport, UtilizationReport
+from repro.sim.stats import TrafficReport, UtilizationReport, dominant
 from repro.sim.trace import EventKind, TraceEvent
+
+#: Attribution precedence for per-step bottleneck winners (ties go to
+#: the earlier resource), matching the paper's limiter discussion.
+BOTTLENECK_ORDER = ("pe", "noc", "dram", "sram", "tpu")
 
 #: Synchronous group-switch overhead (drain + reconfigure), in cycles.
 BARRIER_CYCLES = 200
@@ -112,6 +118,8 @@ class SimulationEngine:
         }
         traffic = TrafficReport()
         events: List[TraceEvent] = []
+        #: Simulated-timeline cursor (cycles) stamping collected events.
+        clock = 0.0
 
         # Steady-state constant residency across repeats: constants that
         # fit the residency pool stay on-chip after the first (cold)
@@ -119,71 +127,76 @@ class SimulationEngine:
         # the same key-reuse window every evaluated design gets.
         warm_residents = self._steady_state_constants(schedule)
 
-        for warm in (False, True) if schedule.repeat > 1 else (False,):
-            pass_seconds = 0.0
-            pass_busy = {k: 0.0 for k in busy}
-            pass_traffic = TrafficReport()
-            for gi, step in enumerate(schedule.steps):
-                try:
-                    mapping = map_group(step.plan)
-                    duration, step_busy, m = self._simulate_step(
-                        gi, step, mapping, events,
-                        extra_resident=warm_residents if warm else frozenset(),
-                    )
-                except SimulationError:
-                    raise
-                except Exception as exc:
-                    raise SimulationError(
-                        "step simulation failed", group_index=gi,
-                        detail=f"{type(exc).__name__}: {exc}",
-                    ) from exc
-                if not math.isfinite(duration) or duration < 0:
-                    raise SimulationError(
-                        "non-physical step duration", group_index=gi,
-                        detail=f"duration={duration!r}s",
-                    )
-                pass_seconds += duration + BARRIER_CYCLES / freq
-                for k in pass_busy:
-                    pass_busy[k] += step_busy[k]
-                pass_traffic.dram_read_bytes += m.dram_read_bytes
-                pass_traffic.dram_write_bytes += m.dram_write_bytes
-                pass_traffic.sram_bytes += m.sram_bytes
-                pass_traffic.noc_bytes += m.noc_bytes
-                pass_traffic.transpose_bytes += m.transpose_bytes
-                if self.collect_trace and not warm:
-                    events.append(
-                        TraceEvent(EventKind.BARRIER, gi, "group-switch",
-                                   cycles=BARRIER_CYCLES)
-                    )
-            weight = 1 if not warm else schedule.repeat - 1
-            total_seconds += pass_seconds * weight
-            for k in busy:
-                busy[k] += pass_busy[k] * weight
-            for attr in ("dram_read_bytes", "dram_write_bytes",
-                         "sram_bytes", "noc_bytes", "transpose_bytes"):
-                setattr(
-                    traffic,
-                    attr,
-                    getattr(traffic, attr) + getattr(pass_traffic, attr) * weight,
-                )
-
-        # Every busy figure is already in (resource-saturated) seconds, so
-        # utilization is busy time over wall-clock time.
-        def _util(key: str) -> float:
-            return min(1.0, busy[key] / total_seconds) if total_seconds else 0.0
-
-        if not math.isfinite(total_seconds) or total_seconds < 0:
-            raise SimulationError(
-                "non-physical total latency",
-                detail=f"total_seconds={total_seconds!r}",
-            )
-        util = UtilizationReport(
-            pe=_util("pe"),
-            noc=_util("noc"),
-            sram_bw=_util("sram"),
-            dram_bw=_util("dram"),
-            transpose=_util("tpu"),
+        sim_span = _span(
+            "sim.run", steps=len(schedule.steps), repeat=schedule.repeat
         )
+        with sim_span:
+            for warm in (False, True) if schedule.repeat > 1 else (False,):
+                pass_seconds = 0.0
+                pass_busy = {k: 0.0 for k in busy}
+                pass_traffic = TrafficReport()
+                for gi, step in enumerate(schedule.steps):
+                    try:
+                        mapping = map_group(step.plan)
+                        duration, step_busy, m = self._simulate_step(
+                            gi, step, mapping, events,
+                            extra_resident=(
+                                warm_residents if warm else frozenset()
+                            ),
+                            start_cycle=int(clock),
+                        )
+                    except SimulationError:
+                        raise
+                    except Exception as exc:
+                        raise SimulationError(
+                            "step simulation failed", group_index=gi,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        ) from exc
+                    if not math.isfinite(duration) or duration < 0:
+                        raise SimulationError(
+                            "non-physical step duration", group_index=gi,
+                            detail=f"duration={duration!r}s",
+                        )
+                    pass_seconds += duration + BARRIER_CYCLES / freq
+                    for k in pass_busy:
+                        pass_busy[k] += step_busy[k]
+                    pass_traffic.dram_read_bytes += m.dram_read_bytes
+                    pass_traffic.dram_write_bytes += m.dram_write_bytes
+                    pass_traffic.sram_bytes += m.sram_bytes
+                    pass_traffic.noc_bytes += m.noc_bytes
+                    pass_traffic.transpose_bytes += m.transpose_bytes
+                    clock += duration * freq
+                    if self.collect_trace and not warm:
+                        events.append(
+                            TraceEvent(
+                                EventKind.BARRIER, gi, "group-switch",
+                                cycles=BARRIER_CYCLES,
+                                start_cycle=int(clock),
+                            )
+                        )
+                    clock += BARRIER_CYCLES
+                weight = 1 if not warm else schedule.repeat - 1
+                total_seconds += pass_seconds * weight
+                for k in busy:
+                    busy[k] += pass_busy[k] * weight
+                for attr in ("dram_read_bytes", "dram_write_bytes",
+                             "sram_bytes", "noc_bytes", "transpose_bytes"):
+                    setattr(
+                        traffic,
+                        attr,
+                        getattr(traffic, attr)
+                        + getattr(pass_traffic, attr) * weight,
+                    )
+
+            if not math.isfinite(total_seconds) or total_seconds < 0:
+                raise SimulationError(
+                    "non-physical total latency",
+                    detail=f"total_seconds={total_seconds!r}",
+                )
+            # Every busy figure is already in (resource-saturated)
+            # seconds, so utilization is busy time over wall-clock time.
+            util = UtilizationReport.from_busy(busy, total_seconds)
+            sim_span.set("total_ms", total_seconds * 1e3)
         return SimResult(
             total_seconds=total_seconds,
             utilization=util,
@@ -221,6 +234,7 @@ class SimulationEngine:
         mapping: GroupMapping,
         events: List[TraceEvent],
         extra_resident: frozenset = frozenset(),
+        start_cycle: int = 0,
     ) -> tuple:
         cfg = self.config
         freq = cfg.frequency_ghz * 1e9
@@ -255,6 +269,7 @@ class SimulationEngine:
                         EventKind.OP_EXECUTE, group_index, op.name,
                         cycles=cyc,
                         pes=placement.pes if placement else (),
+                        start_cycle=start_cycle,
                     )
                 )
         compute_seconds = worst_stage / freq
@@ -284,4 +299,74 @@ class SimulationEngine:
             "dram": m.dram_bytes / cfg.dram_bytes_per_second,
             "tpu": m.transpose_bytes / self._tpu.bytes_per_second,
         }
+        if self.collect_trace:
+            self._emit_resource_events(
+                group_index, events, m, start_cycle, freq,
+                noc_seconds=noc_seconds, sram_seconds=sram_seconds,
+                tpu_seconds=tpu_seconds,
+            )
+        if _METRICS.enabled:
+            seconds_by_resource = {
+                "pe": compute_seconds, "noc": noc_seconds,
+                "dram": dram_seconds, "sram": sram_seconds,
+                "tpu": tpu_seconds,
+            }
+            winner = dominant(seconds_by_resource, order=BOTTLENECK_ORDER)
+            _METRICS.counter("sim.steps").inc()
+            _METRICS.counter(f"sim.bottleneck.{winner}").inc()
+            for res, sec in busy.items():
+                _METRICS.counter(f"sim.busy_cycles.{res}").inc(
+                    int(sec * freq)
+                )
+            if extra_resident:
+                hits = len(
+                    frozenset(step.metrics.constant_bytes) & extra_resident
+                )
+                if hits:
+                    _METRICS.counter("sim.steady_constant_hits").inc(hits)
         return duration, busy, m
+
+    def _emit_resource_events(
+        self,
+        group_index: int,
+        events: List[TraceEvent],
+        m,
+        start_cycle: int,
+        freq: float,
+        noc_seconds: float,
+        sram_seconds: float,
+        tpu_seconds: float,
+    ) -> None:
+        """Append per-resource occupancy events for one step.
+
+        One event per busy resource, stamped at the step start: the
+        Perfetto export renders them as slices alongside the step's OP
+        events, so a trace shows *why* each group takes as long as it
+        does (the slowest slice is the limiter).
+        """
+        dram_total = m.dram_bytes
+        dram_cycles = (
+            self._hbm.access_seconds(dram_total) * freq if dram_total else 0.0
+        )
+        for kind, name, nbytes, cycles in (
+            (EventKind.NOC_TRANSFER, "noc", m.noc_bytes,
+             noc_seconds * freq),
+            (EventKind.DRAM_READ, "dram-read", m.dram_read_bytes,
+             dram_cycles * (m.dram_read_bytes / dram_total)
+             if dram_total else 0.0),
+            (EventKind.DRAM_WRITE, "dram-write", m.dram_write_bytes,
+             dram_cycles * (m.dram_write_bytes / dram_total)
+             if dram_total else 0.0),
+            (EventKind.SRAM_ACCESS, "sram", m.sram_bytes,
+             sram_seconds * freq),
+            (EventKind.TRANSPOSE, "transpose", m.transpose_bytes,
+             tpu_seconds * freq),
+        ):
+            if not nbytes:
+                continue
+            events.append(
+                TraceEvent(
+                    kind, group_index, name, bytes=int(nbytes),
+                    cycles=int(cycles), start_cycle=start_cycle,
+                )
+            )

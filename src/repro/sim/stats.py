@@ -2,8 +2,36 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+
+def dominant(
+    values: Mapping[str, float],
+    order: Optional[Sequence[str]] = None,
+) -> str:
+    """The argmax key of ``values`` with deterministic tie-breaking.
+
+    Ties go to the key earliest in ``order`` (or insertion order when
+    no order is given), so bottleneck attribution is stable across runs
+    and dict-construction details.  An empty mapping is a programming
+    error (callers always have at least one resource) and raises
+    :class:`~repro.resilience.errors.InvariantViolation`.
+    """
+    if not values:
+        from repro.resilience.errors import InvariantViolation
+
+        raise InvariantViolation(
+            "repro.sim.stats.dominant", "no candidates to attribute"
+        )
+    keys = [k for k in (order or values) if k in values]
+    # Keys outside the requested order still participate, after it.
+    keys += [k for k in values if k not in keys]
+    best = keys[0]
+    for key in keys[1:]:
+        if values[key] > values[best]:
+            best = key
+    return best
 
 
 @dataclass
@@ -16,6 +44,34 @@ class UtilizationReport:
     dram_bw: float = 0.0
     transpose: float = 0.0
 
+    #: Attribution precedence: compute first, then interconnect, then
+    #: the memory system — the order the paper discusses limiters in.
+    FIELD_ORDER = ("pe", "noc", "sram_bw", "dram_bw", "transpose")
+
+    @classmethod
+    def from_busy(
+        cls, busy: Mapping[str, float], total_seconds: float
+    ) -> "UtilizationReport":
+        """Build a report from per-resource busy seconds and wall time.
+
+        ``busy`` uses the engine's short keys (``pe``/``noc``/``sram``/
+        ``dram``/``tpu``); fractions are clamped to [0, 1] and are zero
+        for a zero-length execution.
+        """
+
+        def frac(key: str) -> float:
+            if not total_seconds:
+                return 0.0
+            return min(1.0, busy.get(key, 0.0) / total_seconds)
+
+        return cls(
+            pe=frac("pe"),
+            noc=frac("noc"),
+            sram_bw=frac("sram"),
+            dram_bw=frac("dram"),
+            transpose=frac("tpu"),
+        )
+
     def as_dict(self) -> Dict[str, float]:
         """Display-label view of the utilization fields."""
         return {
@@ -25,6 +81,19 @@ class UtilizationReport:
             "DRAM b/w": self.dram_bw,
             "transpose": self.transpose,
         }
+
+    def dominant(self) -> str:
+        """Field name of the busiest resource (stable tie-breaking)."""
+        return dominant(
+            {
+                "pe": self.pe,
+                "noc": self.noc,
+                "sram_bw": self.sram_bw,
+                "dram_bw": self.dram_bw,
+                "transpose": self.transpose,
+            },
+            order=self.FIELD_ORDER,
+        )
 
 
 @dataclass
@@ -37,6 +106,8 @@ class TrafficReport:
     noc_bytes: int = 0
     transpose_bytes: int = 0
 
+    FIELD_ORDER = ("dram", "sram", "noc", "transpose")
+
     @property
     def dram_bytes(self) -> int:
         return self.dram_read_bytes + self.dram_write_bytes
@@ -48,3 +119,15 @@ class TrafficReport:
         self.sram_bytes += other.sram_bytes
         self.noc_bytes += other.noc_bytes
         self.transpose_bytes += other.transpose_bytes
+
+    def dominant(self) -> str:
+        """Memory level carrying the most bytes (stable tie-breaking)."""
+        return dominant(
+            {
+                "dram": self.dram_bytes,
+                "sram": self.sram_bytes,
+                "noc": self.noc_bytes,
+                "transpose": self.transpose_bytes,
+            },
+            order=self.FIELD_ORDER,
+        )

@@ -1,0 +1,152 @@
+"""The ``python -m repro.obs`` CLI and the runner's telemetry flags."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.bench import load_bench, write_bench
+from repro.resilience.errors import TraceError
+
+
+def _bench_doc(wall, windows):
+    return {
+        "version": 1,
+        "kind": "repro-bench",
+        "quick": True,
+        "experiments": {
+            "table1": {
+                "wall_seconds": wall,
+                "metrics": {
+                    "sched.windows_explored": {
+                        "type": "counter", "value": windows,
+                    },
+                },
+            },
+        },
+    }
+
+
+class TestDiffCommand:
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        path = os.path.join(tmp_path, "b.json")
+        write_bench(_bench_doc(1.0, 100), path)
+        assert obs_main(["diff", path, path]) == 0
+        assert "no gated regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = os.path.join(tmp_path, "old.json")
+        new = os.path.join(tmp_path, "new.json")
+        write_bench(_bench_doc(1.0, 100), old)
+        write_bench(_bench_doc(1.0, 200), new)
+        assert obs_main(["diff", old, new]) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_wall_time_regression_passes_without_include_time(
+        self, tmp_path
+    ):
+        old = os.path.join(tmp_path, "old.json")
+        new = os.path.join(tmp_path, "new.json")
+        write_bench(_bench_doc(1.0, 100), old)
+        write_bench(_bench_doc(50.0, 100), new)
+        assert obs_main(["diff", old, new]) == 0
+        assert obs_main(["diff", old, new, "--include-time"]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        path = os.path.join(tmp_path, "b.json")
+        write_bench(_bench_doc(1.0, 100), path)
+        assert obs_main(["diff", path, path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_malformed_document_raises_typed(self, tmp_path):
+        path = os.path.join(tmp_path, "broken.json")
+        with open(path, "w") as f:
+            f.write("{nope")
+        with pytest.raises(TraceError):
+            obs_main(["diff", path, path])
+
+
+class TestSummarize:
+    def test_bench_document(self, tmp_path, capsys):
+        path = os.path.join(tmp_path, "b.json")
+        write_bench(_bench_doc(2.5, 100), path)
+        assert obs_main(["summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_jsonl_trace_gives_attribution(self, tmp_path, capsys):
+        from repro.sim.trace import EventKind, TraceEvent, dump_trace
+
+        path = os.path.join(tmp_path, "t.jsonl")
+        dump_trace(
+            [TraceEvent(EventKind.OP_EXECUTE, 0, "op", cycles=10)], path
+        )
+        assert obs_main(["summarize", path]) == 0
+        assert "limiter" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_single_cheap_cell(self, tmp_path, capsys):
+        out = os.path.join(tmp_path, "bench.json")
+        assert obs_main(["bench", "--out", out, "--only", "table1"]) == 0
+        doc = load_bench(out)
+        assert doc["kind"] == "repro-bench"
+        assert doc["quick"] is True
+        assert "table1" in doc["experiments"]
+        assert "wall_seconds" in doc["experiments"]["table1"]
+
+    def test_unknown_cell_rejected(self, tmp_path):
+        from repro.resilience.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            obs_main([
+                "bench", "--out", os.path.join(tmp_path, "x.json"),
+                "--only", "fig99",
+            ])
+
+
+class TestRunnerFlags:
+    def test_trace_dir_and_metrics_json(self, tmp_path):
+        from repro.experiments.runner import main as runner_main
+
+        trace_dir = os.path.join(tmp_path, "traces")
+        metrics = os.path.join(tmp_path, "runner_metrics.json")
+        artifact = os.path.join(tmp_path, "artifact.json")
+        code = runner_main([
+            "table2", "--no-isolation",
+            "--trace-dir", trace_dir,
+            "--metrics-json", metrics,
+            "--artifact", artifact,
+        ])
+        assert code == 0
+        written = os.listdir(trace_dir)
+        assert "table2.metrics.json" in written
+        assert "table2.spans.json" in written
+        assert "table2.spans.perfetto.json" in written
+        with open(metrics) as f:
+            doc = json.load(f)
+        assert doc["kind"] == "repro-metrics"
+        assert "runner.cell_seconds.table2" in doc["metrics"]
+        assert doc["metrics"]["runner.exit.ok"]["value"] == 1
+
+    def test_trace_dir_written_for_failing_cell(self, tmp_path, monkeypatch):
+        from repro.experiments.runner import main as runner_main
+
+        monkeypatch.setenv("REPRO_FORCE_FAIL", "table3")
+        trace_dir = os.path.join(tmp_path, "traces")
+        metrics = os.path.join(tmp_path, "m.json")
+        code = runner_main([
+            "table3", "--no-isolation",
+            "--trace-dir", trace_dir,
+            "--metrics-json", metrics,
+            "--artifact", os.path.join(tmp_path, "a.json"),
+        ])
+        assert code == 4  # simulation-class failure
+        assert "table3.metrics.json" in os.listdir(trace_dir)
+        with open(metrics) as f:
+            doc = json.load(f)
+        assert doc["metrics"]["runner.exit.failed"]["value"] == 1

@@ -1,0 +1,180 @@
+"""Perfetto/JSON exporters and bottleneck-attribution tables."""
+
+import json
+
+import pytest
+
+from repro.obs.attribution import (
+    RESOURCES,
+    attribute_events,
+    attribution_summary,
+    format_attribution,
+)
+from repro.obs.events import EventSink
+from repro.obs.export import (
+    events_to_perfetto,
+    render_span_tree,
+    spans_to_json,
+    spans_to_perfetto,
+)
+from repro.obs.tracer import Tracer
+from repro.resilience.errors import InvariantViolation
+from repro.sim.stats import dominant
+from repro.sim.trace import EventKind, TraceEvent
+
+
+def _spans():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", graph="g"):
+        with tracer.span("inner"):
+            pass
+    return tracer.snapshot_roots()
+
+
+def _events():
+    return [
+        TraceEvent(EventKind.OP_EXECUTE, 0, "ntt#1", cycles=100,
+                   pes=(0, 1), start_cycle=0),
+        TraceEvent(EventKind.NOC_TRANSFER, 0, "noc", bytes=64, cycles=10,
+                   hops=2, start_cycle=0),
+        TraceEvent(EventKind.DRAM_READ, 0, "evk", bytes=4096, cycles=400,
+                   start_cycle=0),
+        TraceEvent(EventKind.BARRIER, 0, "barrier", cycles=64,
+                   start_cycle=400),
+        TraceEvent(EventKind.OP_EXECUTE, 1, "mul#2", cycles=50,
+                   start_cycle=464),
+        TraceEvent(EventKind.SRAM_ACCESS, 1, "sram", bytes=128, cycles=20,
+                   start_cycle=464),
+    ]
+
+
+class TestSpanExports:
+    def test_render_span_tree_lists_all_names(self):
+        text = render_span_tree(_spans())
+        assert "outer" in text and "inner" in text
+        assert render_span_tree([]) == "(no spans recorded)"
+
+    def test_spans_to_json_schema(self):
+        doc = spans_to_json(_spans())
+        payload = json.loads(json.dumps(doc))  # must be serializable
+        assert payload["version"] == 1
+        (outer,) = payload["spans"]
+        assert outer["name"] == "outer"
+        assert outer["children"][0]["name"] == "inner"
+
+    def test_spans_to_perfetto_schema(self):
+        doc = spans_to_perfetto(_spans(), process_name="test")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"outer", "inner"}
+        for e in slices:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+
+class TestEventPerfetto:
+    def test_schema_and_lanes(self):
+        doc = events_to_perfetto(_events(), process_name="sim")
+        json.dumps(doc)  # valid JSON
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        lane_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert lane_names == {"group 0", "group 1"}
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(_events())
+        for e in slices:
+            assert isinstance(e["ts"], int) and isinstance(e["dur"], int)
+            assert e["dur"] >= 1
+            assert e["tid"] in (1, 2)  # group + 1
+        cats = {e["cat"] for e in slices}
+        assert {"op", "noc", "dram_rd", "barrier", "sram"} <= cats
+
+    def test_stamped_events_keep_their_start_cycle(self):
+        doc = events_to_perfetto(_events())
+        barrier = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "barrier"
+        )
+        assert barrier["ts"] == 400
+
+    def test_unstamped_events_laid_out_sequentially(self):
+        events = [
+            TraceEvent(EventKind.OP_EXECUTE, 0, "a", cycles=10),
+            TraceEvent(EventKind.OP_EXECUTE, 0, "b", cycles=5),
+        ]
+        doc = events_to_perfetto(events)
+        a, b = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert a["ts"] == 0 and b["ts"] == 10
+
+
+class TestAttribution:
+    def test_per_group_cycles_and_bottleneck(self):
+        rows = attribute_events(_events())
+        assert [r.group for r in rows] == [0, 1]
+        g0, g1 = rows
+        assert g0.cycles["pe"] == 100  # pipeline pace, not a sum
+        assert g0.cycles["dram"] == 400
+        assert g0.bottleneck == "dram"
+        assert g0.barrier_cycles == 64
+        assert g1.bottleneck == "pe"
+
+    def test_op_cycles_take_pipeline_max(self):
+        events = [
+            TraceEvent(EventKind.OP_EXECUTE, 0, "slow", cycles=100),
+            TraceEvent(EventKind.OP_EXECUTE, 0, "fast", cycles=10),
+        ]
+        (row,) = attribute_events(events)
+        assert row.cycles["pe"] == 100
+        assert row.ops == 2
+
+    def test_summary_shares(self):
+        summary = attribution_summary(attribute_events(_events()))
+        assert summary["dram"]["groups"] == 1
+        assert summary["pe"]["groups"] == 1
+        assert sum(v["groups"] for v in summary.values()) == 2
+
+    def test_format_is_text_with_all_resources(self):
+        text = format_attribution(attribute_events(_events()))
+        for res in RESOURCES:
+            assert res in text
+        assert format_attribution([]) == "(no events)"
+
+
+class TestDominant:
+    def test_argmax(self):
+        assert dominant({"a": 1.0, "b": 3.0, "c": 2.0}) == "b"
+
+    def test_tie_breaks_by_order(self):
+        values = {"x": 1.0, "y": 1.0}
+        assert dominant(values, order=("y", "x")) == "y"
+        assert dominant(values, order=("x", "y")) == "x"
+
+    def test_tie_without_order_uses_insertion(self):
+        assert dominant({"late": 1.0, "early": 1.0}) == "late"
+
+    def test_empty_raises_typed(self):
+        with pytest.raises(InvariantViolation):
+            dominant({})
+
+
+class TestEventSink:
+    def test_disabled_sink_drops_runs(self):
+        sink = EventSink()
+        sink.add_run(_events(), label="ignored")
+        assert sink.runs == []
+
+    def test_flatten_rebases_cycles_and_groups(self):
+        sink = EventSink(enabled=True)
+        sink.add_run(_events(), label="first")
+        sink.add_run(_events(), label="second")
+        flat = sink.flattened()
+        assert len(flat) == 2 * len(_events())
+        first_half, second_half = flat[:6], flat[6:]
+        first_end = max(
+            e.start_cycle + max(e.cycles, 0) for e in first_half
+        )
+        assert all(e.start_cycle >= first_end for e in second_half)
+        assert {e.group for e in first_half} == {0, 1}
+        assert {e.group for e in second_half} == {2, 3}

@@ -1,0 +1,131 @@
+"""End-to-end instrumentation: scheduler and engine telemetry on/off."""
+
+import pytest
+
+from repro import obs
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.sched.dataflow import Schedule
+from repro.sched.scheduler import Scheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import UtilizationReport
+from repro.sim.trace import EventKind
+
+PARAMS = parameter_set("ARK")
+
+
+def _schedule():
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", 10), b.input_ciphertext("y", 10))
+    return Scheduler(b.graph, CROPHE_64).schedule()
+
+
+@pytest.fixture()
+def telemetry():
+    """Telemetry on for the test; prior global state restored after."""
+    was = (obs.TRACER.enabled, obs.REGISTRY.enabled, obs.SINK.enabled)
+    obs.reset()
+    obs.enable(events=True)
+    yield obs
+    obs.reset()
+    obs.TRACER.enabled, obs.REGISTRY.enabled, obs.SINK.enabled = was
+
+
+class TestSchedulerTelemetry:
+    def test_schedule_span_and_counters(self, telemetry):
+        _schedule()
+        roots = obs.TRACER.snapshot_roots()
+        sched_spans = [r for r in roots if r.name == "sched.schedule"]
+        assert sched_spans
+        sp = sched_spans[0]
+        assert "windows_explored" in sp.attrs
+        assert sp.attrs["degraded"] is False
+        child_names = {c.name for c in sp.children}
+        assert "sched.verify" in child_names
+        snap = obs.REGISTRY.snapshot()
+        assert snap["sched.searches"]["value"] >= 1
+        assert snap["sched.windows_explored"]["value"] > 0
+        assert snap["sched.search_seconds"]["count"] >= 1
+
+    def test_disabled_scheduler_records_nothing(self):
+        was = (obs.TRACER.enabled, obs.REGISTRY.enabled, obs.SINK.enabled)
+        obs.reset()
+        obs.disable()
+        try:
+            schedule = _schedule()
+            assert schedule.steps  # scheduling itself still works
+            assert obs.TRACER.snapshot_roots() == []
+            assert obs.REGISTRY.snapshot() == {}
+            assert obs.SINK.runs == []
+        finally:
+            obs.TRACER.enabled, obs.REGISTRY.enabled, obs.SINK.enabled = was
+
+
+class TestEngineTelemetry:
+    def test_sim_metrics_recorded(self, telemetry):
+        sched = _schedule()
+        obs.REGISTRY.reset()
+        SimulationEngine(CROPHE_64).run(
+            Schedule(steps=sched.steps, repeat=2)
+        )
+        snap = obs.REGISTRY.snapshot()
+        assert snap["sim.steps"]["value"] == 2 * len(sched.steps)
+        busy = [k for k in snap if k.startswith("sim.busy_cycles.")]
+        assert busy
+        assert any(snap[k]["value"] > 0 for k in busy)
+        winners = [k for k in snap if k.startswith("sim.bottleneck.")]
+        assert sum(snap[k]["value"] for k in winners) == 2 * len(sched.steps)
+
+    def test_trace_events_carry_start_cycles(self, telemetry):
+        sched = _schedule()
+        engine = SimulationEngine(CROPHE_64, collect_trace=True)
+        result = engine.run(Schedule(steps=sched.steps, repeat=1))
+        assert result.events
+        kinds = {e.kind for e in result.events}
+        assert EventKind.OP_EXECUTE in kinds
+        assert kinds & {
+            EventKind.NOC_TRANSFER, EventKind.DRAM_READ,
+            EventKind.SRAM_ACCESS,
+        }
+        last_start = 0
+        for e in result.events:
+            if e.kind is EventKind.BARRIER:
+                assert e.start_cycle >= last_start
+                last_start = e.start_cycle
+        assert last_start > 0  # the clock advanced
+
+    def test_sim_run_span(self, telemetry):
+        sched = _schedule()
+        obs.TRACER.clear()
+        SimulationEngine(CROPHE_64).run(Schedule(steps=sched.steps))
+        names = {r.name for r in obs.TRACER.snapshot_roots()}
+        assert "sim.run" in names
+
+
+class TestFromBusy:
+    def test_fractions_and_clamp(self):
+        busy = {"pe": 0.5, "noc": 2.0, "sram": 0.0, "dram": 0.25, "tpu": 0.0}
+        util = UtilizationReport.from_busy(busy, total_seconds=1.0)
+        assert util.pe == 0.5
+        assert util.noc == 1.0  # clamped
+        assert util.dram_bw == 0.25
+
+    def test_zero_total_gives_zero(self):
+        busy = {"pe": 1.0, "noc": 0.0, "sram": 0.0, "dram": 0.0, "tpu": 0.0}
+        util = UtilizationReport.from_busy(busy, total_seconds=0.0)
+        assert util.pe == 0.0
+
+    def test_dominant_field(self):
+        util = UtilizationReport(pe=0.2, noc=0.9, sram_bw=0.1, dram_bw=0.5)
+        assert util.dominant() == "noc"
+
+    def test_traffic_dominant(self):
+        from repro.sim.stats import TrafficReport
+
+        traffic = TrafficReport(
+            dram_read_bytes=10, dram_write_bytes=10, sram_bytes=15
+        )
+        assert traffic.dominant() == "dram"
+        # Ties break toward the earlier entry in FIELD_ORDER.
+        assert TrafficReport(sram_bytes=5, noc_bytes=5).dominant() == "sram"

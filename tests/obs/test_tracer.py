@@ -1,0 +1,130 @@
+"""Tracer invariants: nesting, timing, thread isolation, disabled path."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import Tracer, _NOOP
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer(enabled=True)
+    yield t
+    t.clear()
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        roots = tracer.snapshot_roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner.a", "inner.b"]
+
+    def test_siblings_are_separate_roots(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.snapshot_roots()] == ["first", "second"]
+
+    def test_timing_invariants(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.snapshot_roots()[0]
+        inner = outer.children[0]
+        assert outer.end is not None and inner.end is not None
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attrs_via_kwargs_and_set(self, tracer):
+        with tracer.span("s", graph="g") as sp:
+            sp.set("windows", 7)
+        root = tracer.snapshot_roots()[0]
+        assert root.attrs == {"graph": "g", "windows": 7}
+
+    def test_exception_closes_open_children(self, tracer):
+        """A child left open by an exception is closed with the parent."""
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                inner = tracer.span("inner")  # never exited
+                raise RuntimeError("boom")
+        outer = tracer.snapshot_roots()[0]
+        assert outer.children == [inner]
+        assert inner.end == outer.end
+
+    def test_decorator_records_span(self, tracer):
+        @tracer.traced("fn.work")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert [r.name for r in tracer.snapshot_roots()] == ["fn.work"]
+
+    def test_iter_spans_walks_everything(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert {sp.name for sp in tracer.iter_spans()} == {"a", "b", "c"}
+
+    def test_threads_get_separate_stacks(self, tracer):
+        def worker(label):
+            with tracer.span(f"thread.{label}"):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        with tracer.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        roots = {r.name for r in tracer.snapshot_roots()}
+        # Worker spans are roots of their own threads, never children of
+        # the main thread's open span.
+        assert roots == {"main"} | {f"thread.{i}" for i in range(4)}
+        main = next(
+            r for r in tracer.snapshot_roots() if r.name == "main"
+        )
+        assert main.children == []
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self, tracer):
+        tracer.disable()
+        with tracer.span("ignored", key="value") as sp:
+            sp.set("more", 1)
+        assert tracer.snapshot_roots() == []
+
+    def test_disabled_span_is_shared_noop(self, tracer):
+        tracer.disable()
+        assert tracer.span("a") is _NOOP
+        assert tracer.span("b") is _NOOP
+
+    def test_disabled_decorator_passthrough(self, tracer):
+        tracer.disable()
+
+        @tracer.traced("fn")
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert tracer.snapshot_roots() == []
+
+    def test_module_level_disabled_by_default(self):
+        """The process-wide tracer must not record in telemetry-off runs."""
+        if obs.enabled():
+            pytest.skip("REPRO_OBS set in this environment")
+        before = len(obs.TRACER.snapshot_roots())
+        with obs.span("should.not.record"):
+            pass
+        assert len(obs.TRACER.snapshot_roots()) == before

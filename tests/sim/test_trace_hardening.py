@@ -1,0 +1,126 @@
+"""Hardened trace reading: typed errors naming file and line, streaming."""
+
+import os
+
+import pytest
+
+from repro.resilience.errors import ReproError, TraceError
+from repro.sim.trace import (
+    EventKind,
+    TraceEvent,
+    dump_trace,
+    iter_trace,
+    load_trace,
+)
+
+
+def _write(tmp_path, *lines):
+    path = os.path.join(tmp_path, "trace.jsonl")
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    return path
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_start_cycle(self, tmp_path):
+        events = [
+            TraceEvent(EventKind.OP_EXECUTE, 0, "ntt#1", cycles=42,
+                       pes=(1, 2), start_cycle=100),
+            TraceEvent(EventKind.DRAM_READ, 1, "evk", bytes=1024,
+                       start_cycle=142),
+        ]
+        path = os.path.join(tmp_path, "t.jsonl")
+        dump_trace(events, path)
+        assert load_trace(path) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '{"kind": "op", "group": 0, "name": "a"}',
+            "",
+            '{"kind": "noc", "group": 0, "name": "b"}',
+        )
+        assert len(load_trace(path)) == 2
+
+    def test_missing_optional_fields_default(self, tmp_path):
+        path = _write(tmp_path, '{"kind": "op", "group": 3, "name": "x"}')
+        (event,) = load_trace(path)
+        assert event.cycles == 0 and event.start_cycle == 0
+        assert event.pes == ()
+
+
+class TestMalformed:
+    def test_malformed_json_names_file_and_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '{"kind": "op", "group": 0, "name": "ok"}',
+            "{not json",
+        )
+        with pytest.raises(TraceError) as exc:
+            load_trace(path)
+        assert exc.value.path == path
+        assert exc.value.line == 2
+        assert f"{path}:2" in str(exc.value)
+
+    def test_unknown_kind_lists_known_kinds(self, tmp_path):
+        path = _write(
+            tmp_path, '{"kind": "warp", "group": 0, "name": "x"}'
+        )
+        with pytest.raises(TraceError) as exc:
+            load_trace(path)
+        assert "warp" in str(exc.value)
+        assert "dram_rd" in str(exc.value)  # known kinds listed
+
+    def test_missing_required_field(self, tmp_path):
+        path = _write(tmp_path, '{"kind": "op", "group": 0}')
+        with pytest.raises(TraceError, match="name"):
+            load_trace(path)
+
+    def test_unexpected_field_rejected(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '{"kind": "op", "group": 0, "name": "x", "sneaky": 1}',
+        )
+        with pytest.raises(TraceError, match="sneaky"):
+            load_trace(path)
+
+    def test_non_object_record(self, tmp_path):
+        path = _write(tmp_path, "[1, 2, 3]")
+        with pytest.raises(TraceError, match="object"):
+            load_trace(path)
+
+    def test_wrong_field_type(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '{"kind": "op", "group": "not-an-int-at-all", "name": "x"}',
+        )
+        with pytest.raises(TraceError, match="wrong type"):
+            load_trace(path)
+
+    def test_trace_error_is_repro_and_value_error(self):
+        err = TraceError("bad", path="t.jsonl", line=7)
+        assert isinstance(err, ReproError)
+        assert isinstance(err, ValueError)
+
+
+class TestStreaming:
+    def test_iter_trace_is_lazy(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '{"kind": "op", "group": 0, "name": "good"}',
+            "{broken",
+        )
+        it = iter_trace(path)
+        first = next(it)
+        assert first.name == "good"
+        with pytest.raises(TraceError):
+            next(it)
+
+    def test_iter_matches_load(self, tmp_path):
+        events = [
+            TraceEvent(EventKind.SRAM_ACCESS, 0, "s", bytes=8, cycles=1),
+            TraceEvent(EventKind.BARRIER, 1, "b", cycles=64),
+        ]
+        path = os.path.join(tmp_path, "t.jsonl")
+        dump_trace(events, path)
+        assert list(iter_trace(path)) == load_trace(path)
