@@ -1,6 +1,6 @@
 # Convenience targets for the CROPHE reproduction.
 
-.PHONY: install test bench bench-check bench-pytest bench-full trace experiments experiments-quick examples lint verify-static
+.PHONY: install test bench bench-check bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat examples lint verify-static
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,14 @@ experiments:
 
 experiments-quick:
 	python -m repro.experiments.runner all --quick
+
+# Quick suite over the persistent repro.dse cache: the first run pays
+# for the DP searches, re-runs replay cached schedules/results.
+experiments-cached:
+	PYTHONPATH=src python -m repro.experiments.runner all --quick --jobs 2 --cache-dir .dse-cache
+
+dse-stat:
+	PYTHONPATH=src python -m repro.dse stat --cache-dir .dse-cache
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

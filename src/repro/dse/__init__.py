@@ -1,0 +1,46 @@
+"""Design-space exploration: persistent caching and parallel sweeps.
+
+CROPHE's results come from sweeping a large cross-operator dataflow
+space; the expensive inner step — the DP schedule search — recurs on
+identical (graph, hardware, dataflow, knobs) tuples across cells, runs,
+and machines.  This package eliminates the recomputation:
+
+* :mod:`repro.dse.fingerprint` — canonical content-addressed keys over
+  (graph structural hash, FHE params, hardware, scheduler knobs,
+  dataflow variant, format-version salt).  Fingerprints never embed
+  process-dependent state (operator uids, object ids, clock values).
+* :mod:`repro.dse.cache` — two-tier artifact cache: a per-process
+  in-memory tier in front of an optional on-disk JSON store (atomic
+  renames, corrupt entries degrade to misses with a typed
+  :class:`~repro.resilience.errors.CacheError` warning, hit/miss/
+  corruption counters through :mod:`repro.obs`).
+* :mod:`repro.dse.sweep` — declarative sweep specs sharded
+  deterministically across crash-isolated workers
+  (:mod:`repro.resilience.isolation`), streaming into a resumable
+  artifact.  Imported lazily: it depends on :mod:`repro.experiments`,
+  which itself uses the cache layer.
+
+``python -m repro.dse`` exposes ``run`` / ``stat`` / ``ls`` / ``gc``.
+"""
+
+from repro.dse.cache import ArtifactCache, CACHE, aggregate_stats
+from repro.dse.fingerprint import (
+    FORMAT_VERSION,
+    canonical_json,
+    digest,
+    graph_fingerprint,
+    result_fingerprint,
+    schedule_fingerprint,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE",
+    "FORMAT_VERSION",
+    "aggregate_stats",
+    "canonical_json",
+    "digest",
+    "graph_fingerprint",
+    "result_fingerprint",
+    "schedule_fingerprint",
+]

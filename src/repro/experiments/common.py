@@ -10,25 +10,50 @@ A :class:`DesignPoint` names (hardware, dataflow) — e.g. "ARK + MAD" or
 4. for data-parallel CROPHE-p, evaluate per-cluster hardware and share
    the constant (evk) fetches across clusters.
 
-Results are cached per (design, workload, params, sram) key because the
-figure/table modules revisit the same points.
+Results and schedules are cached through the content-addressed
+:mod:`repro.dse` cache: fingerprints over (design, workload, params,
+scheduler knobs) key evaluation results, and (graph structural hash,
+hardware, dataflow, knobs) key segment schedules — the figure/table
+modules revisit the same points within a run, and with a cache
+directory configured (``REPRO_DSE_CACHE`` / the runner's
+``--cache-dir``) across runs and processes too.  Live objects sit in
+module-level front maps (documents cannot hold live plan objects);
+the doc tiers live in :data:`repro.dse.cache.CACHE`.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.mad import MadScheduler
+from repro.dse.cache import CACHE
+from repro.dse.fingerprint import (
+    hw_payload,
+    result_fingerprint,
+    schedule_fingerprint,
+)
 from repro.obs.events import SINK as _EVENT_SINK
 from repro.obs.tracer import span as _span
-from repro.resilience.errors import ConfigError, InfeasibleScheduleError
+from repro.resilience.errors import (
+    CacheError,
+    ConfigError,
+    InfeasibleScheduleError,
+    ReproError,
+)
 from repro.fhe.params import CKKSParams
 from repro.hw.config import HardwareConfig
 from repro.sched.dataflow import Schedule
 from repro.sched.scheduler import Scheduler, SchedulerConfig
+from repro.sched.serialize import (
+    eval_result_from_doc,
+    eval_result_to_doc,
+    schedule_from_doc,
+    schedule_to_doc,
+)
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import TrafficReport, UtilizationReport
 from repro.workloads import WORKLOAD_BUILDERS
@@ -86,21 +111,19 @@ class EvalResult:
         return self.seconds * 1e3
 
 
-_CACHE: Dict[Tuple, EvalResult] = {}
+#: Live results in front of the doc cache, keyed by result
+#: fingerprint.  Repeated lookups within a process return the *same*
+#: object (callers rely on identity); the doc tier serves other
+#: processes and later runs.
+_RESULT_LIVE: Dict[str, EvalResult] = {}
 
-#: Schedules keyed by (graph identity, hardware, dataflow, knobs); the
-#: graph object is retained so the id() key stays valid.  Workload builds
-#: are memoized, so the same segment graph recurs across workloads
-#: (bootstrap inside HELR/ResNet) and across r_hyb/cluster variants.
-_SCHED_CACHE: Dict[Tuple, Tuple[object, object]] = {}
-
-
-def _hw_key(hw: HardwareConfig) -> Tuple:
-    return (
-        hw.name, hw.num_pes, hw.lanes_per_pe, hw.sram_capacity_mb,
-        hw.sram_bandwidth_tbs, hw.dram_bandwidth_tbs, hw.word_bits,
-        hw.fu_mix.ntt if hw.fu_mix else None,
-    )
+#: Live schedules in front of the doc cache, keyed by schedule
+#: fingerprint; the graph object is retained so the plan objects' uids
+#: stay valid.  Workload builds are memoized, so the same segment graph
+#: recurs across workloads (bootstrap inside HELR/ResNet) and across
+#: r_hyb/cluster variants; structural twins from *different* builds
+#: share one entry too (the fingerprint is structural, not id-based).
+_SCHED_LIVE: Dict[str, Tuple[Schedule, object]] = {}
 
 
 def default_scheduler_config() -> SchedulerConfig:
@@ -127,22 +150,42 @@ def default_scheduler_config() -> SchedulerConfig:
 
 
 def _schedule_segment(graph, hw, dataflow, config, n_split):
-    key = (
-        id(graph), _hw_key(hw), dataflow,
-        (config.max_group_size, config.keep_fraction,
-         config.constant_residency_fraction, config.constant_share,
-         config.temporal_streaming, config.max_search_seconds,
-         config.max_search_nodes),
-        n_split,
-    )
-    hit = _SCHED_CACHE.get(key)
-    if hit is not None:
-        return hit[0]
+    fp = schedule_fingerprint(graph, hw, dataflow, config, n_split)
+    live = _SCHED_LIVE.get(fp)
+    if live is not None:
+        CACHE.bump("hits")
+        return live[0]
+    doc = CACHE.get("schedule", fp)
+    if doc is not None:
+        try:
+            schedule = schedule_from_doc(
+                doc, graph, hw, config=config,
+                dataflow=dataflow, n_split=n_split,
+            )
+        except ReproError as exc:
+            # A cover that no longer replays (foreign or stale despite a
+            # matching envelope) degrades to a fresh search, never a
+            # crash — the same contract as a corrupt file.
+            warnings.warn(
+                CacheError(
+                    "cached schedule failed to replay; re-searching",
+                    reason=f"replay-failed: {exc}",
+                ),
+                stacklevel=2,
+            )
+        else:
+            _SCHED_LIVE[fp] = (schedule, graph)
+            return schedule
     if dataflow == "mad":
         schedule = MadScheduler(graph, hw, config).schedule()
     else:
         schedule = Scheduler(graph, hw, config, n_split=n_split).schedule()
-    _SCHED_CACHE[key] = (schedule, graph)
+    _SCHED_LIVE[fp] = (schedule, graph)
+    CACHE.put(
+        "schedule", fp,
+        schedule_to_doc(schedule, dataflow=dataflow, n_split=n_split),
+        meta={"graph": graph.name, "hw": hw.name, "dataflow": dataflow},
+    )
     return schedule
 
 
@@ -186,12 +229,11 @@ def _evaluate_once(
     r_hyb: int,
     decompose_ntt: bool,
     clusters: int,
-    scheduler_config: Optional[SchedulerConfig],
+    base_config: SchedulerConfig,
 ) -> EvalResult:
     options = _workload_options(point, params, r_hyb, decompose_ntt)
     workload = WORKLOAD_BUILDERS[workload_name](params, options)
     hw = _cluster_hw(point.hw, clusters)
-    base_config = scheduler_config or default_scheduler_config()
     config = replace(base_config, constant_share=clusters)
     residency = base_config.keep_fraction
     engine = SimulationEngine(
@@ -272,15 +314,29 @@ def evaluate_workload(
     scheduler_config: Optional[SchedulerConfig] = None,
     use_cache: bool = True,
 ) -> EvalResult:
-    """Evaluate one design on one workload (best r_hyb kept for hybrid)."""
-    key = (
-        point.label, point.hw.name, point.hw.sram_capacity_mb,
-        point.dataflow, point.use_ntt_decomposition,
-        point.use_hybrid_rotation, point.rotation_strategy, point.clusters,
-        workload_name, params.name, params.log_n, params.max_level,
+    """Evaluate one design on one workload (best r_hyb kept for hybrid).
+
+    Results flow through the content-addressed cache: a warm hit (live
+    map, memory doc, or disk) returns without building graphs or
+    running the scheduler/simulator at all — zero DP searches.
+    """
+    base_config = scheduler_config or default_scheduler_config()
+    fp = result_fingerprint(
+        _design_payload(point), workload_name, params, base_config
     )
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache:
+        live = _RESULT_LIVE.get(fp)
+        if live is not None:
+            CACHE.bump("hits")
+            CACHE.flush_stats()
+            return live
+        doc = CACHE.get("result", fp)
+        if doc is not None:
+            restored = _restore_result(doc)
+            if restored is not None:
+                _RESULT_LIVE[fp] = restored
+                CACHE.flush_stats()
+                return restored
     hybrid = point.dataflow == "crophe" and point.use_hybrid_rotation
     best: Optional[EvalResult] = None
     if hybrid:
@@ -310,7 +366,7 @@ def evaluate_workload(
                 try:
                     result = _evaluate_once(
                         variant_point, workload_name, params, r_hyb,
-                        decompose, clusters, scheduler_config,
+                        decompose, clusters, base_config,
                     )
                 except InfeasibleScheduleError as exc:
                     # One infeasible variant is survivable as long as
@@ -327,15 +383,55 @@ def evaluate_workload(
             f"{point.label} on {workload_name}"
         )
     if use_cache:
-        _CACHE[key] = best
+        _RESULT_LIVE[fp] = best
+        CACHE.put(
+            "result", fp, eval_result_to_doc(best),
+            meta={"label": point.label, "workload": workload_name,
+                  "params": params.name},
+        )
+        CACHE.flush_stats()
     return best
 
 
+def _design_payload(point: DesignPoint) -> Dict[str, Any]:
+    """The fingerprintable description of a design point."""
+    return {
+        "label": point.label,
+        "dataflow": point.dataflow,
+        "use_ntt_decomposition": point.use_ntt_decomposition,
+        "use_hybrid_rotation": point.use_hybrid_rotation,
+        "rotation_strategy": point.rotation_strategy,
+        "clusters": point.clusters,
+        "hw": hw_payload(point.hw),
+    }
+
+
+def _restore_result(doc: Any) -> Optional[EvalResult]:
+    """Rebuild a cached result document, tolerating bad payloads."""
+    try:
+        return eval_result_from_doc(doc)
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        warnings.warn(
+            CacheError(
+                "cached result failed to restore; re-evaluating",
+                reason=f"restore-failed: {exc}",
+            ),
+            stacklevel=3,
+        )
+        return None
+
+
 def clear_cache() -> None:
-    """Drop all cached evaluation results and schedules (tests, sweeps,
-    and the bench harness, which must measure search work from cold)."""
-    _CACHE.clear()
-    _SCHED_CACHE.clear()
+    """Drop all in-memory cached results and schedules.
+
+    Compatibility shim over the :mod:`repro.dse` tiers: clears the live
+    front maps and the doc cache's memory tier (tests, sweeps, and the
+    bench harness, which must measure search work from cold).  On-disk
+    entries survive — remove the cache directory to go fully cold.
+    """
+    _RESULT_LIVE.clear()
+    _SCHED_LIVE.clear()
+    CACHE.clear_memory()
 
 
 def speedup(baseline: EvalResult, contender: EvalResult) -> float:

@@ -35,6 +35,17 @@ Resilience (each table/figure is one *cell*):
   with exit status 5 on findings; ``--verify-json`` prints the reports
   as JSON.
 
+Design-space exploration (:mod:`repro.dse`):
+
+* ``--jobs N`` runs up to N cells concurrently — each still one forked,
+  crash-isolated subprocess; output is buffered and printed in cell
+  order so reports stay deterministic;
+* ``--cache-dir DIR`` turns on the persistent content-addressed
+  schedule/result cache (exported to cells as ``REPRO_DSE_CACHE``):
+  a warm re-run serves every evaluation from the cache — zero DP
+  scheduler searches — and the run's hit/miss/corruption deltas are
+  printed and included in ``--metrics-json`` as ``dse.cache.*``.
+
 Observability (:mod:`repro.obs`):
 
 * ``--trace-dir DIR`` turns telemetry on inside every cell and writes
@@ -66,8 +77,11 @@ import argparse
 import functools
 import os
 import sys
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
+from repro.dse.cache import CACHE_ENV, aggregate_stats
 from repro.resilience.errors import SimulationError
 from repro.resilience.isolation import (
     CellStatus,
@@ -200,7 +214,9 @@ def _observed_cell(name, fn, trace_dir, quick=False):
             obs.disable()
 
 
-def _write_runner_metrics(path, statuses, verify_seconds=None) -> None:
+def _write_runner_metrics(
+    path, statuses, verify_seconds=None, cache_stats=None
+) -> None:
     """Write the parent-side ``repro-metrics`` document for this run."""
     from repro.obs import MetricsRegistry, metrics_document
     from repro.obs.export import write_json
@@ -211,6 +227,9 @@ def _write_runner_metrics(path, statuses, verify_seconds=None) -> None:
         registry.counter(f"runner.exit.{s.status}").inc()
     if verify_seconds is not None:
         registry.gauge("runner.verify_seconds").set(round(verify_seconds, 3))
+    if cache_stats is not None:
+        for key, value in sorted(cache_stats.items()):
+            registry.counter(f"dse.cache.{key}").inc(value)
     write_json(metrics_document(registry.snapshot()), path)
 
 
@@ -332,13 +351,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--metrics-json", default=None, metavar="PATH",
         help="write the runner's own metrics document (cell wall times, "
-             "exit-status counters, verify cost) to PATH after the run",
+             "exit-status counters, verify cost, cache hit/miss deltas) "
+             "to PATH after the run",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N cells concurrently (each still crash-isolated "
+             "in its own subprocess; implies isolation)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent schedule/result cache root shared by every "
+             f"cell (exported as {CACHE_ENV}); warm re-runs skip the "
+             "DP scheduler searches entirely",
     )
     args = parser.parse_args(argv)
     if args.search_seconds is not None:
         os.environ["REPRO_MAX_SEARCH_SECONDS"] = str(args.search_seconds)
     if args.search_nodes is not None:
         os.environ["REPRO_MAX_SEARCH_NODES"] = str(args.search_nodes)
+    if args.cache_dir:
+        os.environ[CACHE_ENV] = args.cache_dir
+    jobs = max(1, args.jobs)
+    if args.no_isolation:
+        jobs = 1  # in-process cells share module state: keep them serial
     verify_seconds = None
     if args.verify or args.verify_json:
         verify_start = time.time()
@@ -360,19 +396,19 @@ def main(argv=None) -> int:
         RunArtifact.load(args.artifact) if args.resume
         else RunArtifact(path=args.artifact)
     )
-    statuses = []
-    for name in names:
-        print(f"==== {name} ====")
+    cache_before = (
+        aggregate_stats(args.cache_dir) if args.cache_dir else None
+    )
+    artifact_lock = threading.Lock()
+
+    def _one_cell(name: str) -> CellStatus:
+        """Execute (or resume-skip) one cell; record it in the artifact."""
         if args.resume and artifact.completed(name):
             prior = artifact.cells[name]
-            status = CellStatus(
+            return CellStatus(
                 name=name, status="skipped", seconds=0.0,
                 attempts=prior.attempts, output=prior.output,
             )
-            print(prior.output)
-            print("(skipped: already completed in artifact)\n")
-            statuses.append(status)
-            continue
         fn = EXPERIMENTS[name]
         if args.trace_dir:
             fn = functools.partial(
@@ -397,22 +433,58 @@ def main(argv=None) -> int:
                 name, fn, kwargs={"quick": args.quick},
                 timeout=args.timeout, retries=max(args.retries, 0),
             )
+        with artifact_lock:
+            artifact.record(status)
+        return status
+
+    def _print_cell(status: CellStatus) -> None:
+        print(f"==== {status.name} ====")
         if status.status == "ok":
             print(status.output)
+        elif status.status == "skipped":
+            print(status.output)
+            print("(skipped: already completed in artifact)")
         else:
             print(
-                f"{name} {status.status} after {status.attempts} "
+                f"{status.name} {status.status} after {status.attempts} "
                 f"attempt(s): [{status.error_kind}] {status.error}",
                 file=sys.stderr,
             )
         print(f"({status.seconds:.1f}s)\n")
-        artifact.record(status)
-        statuses.append(status)
+
+    statuses = []
+    if jobs == 1:
+        for name in names:
+            status = _one_cell(name)
+            _print_cell(status)
+            statuses.append(status)
+    else:
+        # Each cell is still one forked subprocess (run_isolated); the
+        # threads here only orchestrate.  Output is held back and
+        # printed in cell order so reports stay deterministic.
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {name: pool.submit(_one_cell, name) for name in names}
+            for name in names:
+                statuses.append(futures[name].result())
+        for status in statuses:
+            _print_cell(status)
     _print_report(statuses)
     print(f"artifact: {artifact.path}")
+    cache_delta = None
+    if cache_before is not None:
+        cache_after = aggregate_stats(args.cache_dir)
+        cache_delta = {
+            key: cache_after.get(key, 0) - cache_before.get(key, 0)
+            for key in cache_after
+        }
+        print(
+            "cache: "
+            + " ".join(f"{k}={v}" for k, v in sorted(cache_delta.items()))
+        )
     if args.metrics_json:
         _write_runner_metrics(
-            args.metrics_json, statuses, verify_seconds=verify_seconds
+            args.metrics_json, statuses, verify_seconds=verify_seconds,
+            cache_stats=cache_delta,
         )
         print(f"metrics: {args.metrics_json}")
     return _exit_code(statuses)

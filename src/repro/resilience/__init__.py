@@ -19,6 +19,7 @@ Public surface:
 from repro.resilience.budget import BudgetMeter, SearchBudget
 from repro.resilience.checkpoint import SearchCheckpoint
 from repro.resilience.errors import (
+    CacheError,
     ConfigError,
     GraphInvariantError,
     InfeasibleScheduleError,
@@ -32,6 +33,7 @@ from repro.resilience.isolation import CellStatus, RunArtifact, run_isolated
 
 __all__ = [
     "ReproError",
+    "CacheError",
     "ConfigError",
     "GraphInvariantError",
     "InfeasibleScheduleError",

@@ -211,6 +211,34 @@ class TraceError(ReproError, ValueError):
         super().__init__(f"{prefix}{message}")
 
 
+class CacheError(ReproError, Warning):
+    """A persistent cache entry could not be trusted.
+
+    Doubles as a :class:`Warning` category: the DSE cache never lets a
+    bad on-disk entry crash an evaluation — a truncated file, garbage
+    JSON, or a stale format version degrades to a *miss*, and the
+    incident is reported via ``warnings.warn`` with this class so
+    callers (and tests) can filter on it.  The same type is raisable
+    for unrecoverable cache-layer failures (e.g. an unwritable root
+    when persistence was explicitly requested).
+
+    Attributes:
+        path: the offending cache file ("" when not file-specific).
+        reason: short machine-friendly cause (e.g. ``"garbage-json"``,
+            ``"stale-version"``, ``"truncated"``).
+    """
+
+    def __init__(self, message: str, path: str = "", reason: str = ""):
+        self.path = path
+        self.reason = reason
+        parts = [message]
+        if path:
+            parts.append(f"path={path}")
+        if reason:
+            parts.append(f"reason={reason}")
+        super().__init__("; ".join(parts))
+
+
 class SimulationError(ReproError):
     """The simulator was handed or produced something non-physical.
 

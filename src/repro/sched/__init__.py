@@ -18,6 +18,12 @@ from repro.sched.cost_model import group_time_breakdown
 from repro.sched.partition import partition_graph, merge_redundant
 from repro.sched.hybrid_rotation import estimate_tradeoff, r_hyb_candidates
 from repro.sched.ntt_decomp import candidate_splits, orientation_switch_report
+from repro.sched.serialize import (
+    eval_result_from_doc,
+    eval_result_to_doc,
+    schedule_from_doc,
+    schedule_to_doc,
+)
 
 __all__ = [
     "SpatialGroupPlan",
@@ -34,4 +40,8 @@ __all__ = [
     "r_hyb_candidates",
     "candidate_splits",
     "orientation_switch_report",
+    "schedule_to_doc",
+    "schedule_from_doc",
+    "eval_result_to_doc",
+    "eval_result_from_doc",
 ]

@@ -45,6 +45,7 @@ from repro.resilience.checkpoint import SearchCheckpoint, search_fingerprint
 from repro.resilience.errors import (
     ConfigError,
     InfeasibleScheduleError,
+    InvariantViolation,
     SearchBudgetExceeded,
 )
 from repro.sched.dataflow import Schedule, ScheduledStep, SpatialGroupPlan
@@ -508,6 +509,64 @@ class Scheduler:
             self._save_checkpoint(fingerprint, n, dp, pos)
         self._settle(final)
         return self._finish(Schedule(steps=final.steps), t0)
+
+    def replay(self, window_sizes: Sequence[int]) -> Schedule:
+        """Rebuild a schedule from its window cover, without searching.
+
+        A schedule this class produces is fully determined by the sizes
+        of its consecutive windows over the deterministic topological
+        order: replaying the cover through the same ``_transition``
+        pricing reproduces every step (seconds, metrics, residency sets)
+        exactly.  This is how the DSE cache rehydrates schedules across
+        processes — the cover is tiny and portable where live
+        :class:`~repro.sched.dataflow.SpatialGroupPlan` objects are not.
+
+        The DP search counters (``sched.searches`` etc.) are *not*
+        touched — a replay is a cache hit, not a search — and the static
+        verification gate is skipped (the simulator re-verifies steps
+        before running them).
+
+        Raises:
+            InvariantViolation: when the cover does not tile the
+                topological order or replays an infeasible window (a
+                stale or foreign cover — callers treat this as a cache
+                miss and fall back to a fresh search).
+        """
+        order = self.graph.operators_topological()
+        n = len(order)
+        sizes = [int(s) for s in window_sizes]
+        if any(s < 1 for s in sizes) or sum(sizes) != n:
+            raise InvariantViolation(
+                "repro.sched.scheduler.Scheduler.replay",
+                f"cover {sizes!r} does not tile the {n}-operator order",
+            )
+        sram = self.hw.sram_capacity_bytes
+        keep_budget = int(sram * self.config.keep_fraction)
+        const_budget = int(sram * self.config.constant_residency_fraction)
+        pos = {op.uid: idx for idx, op in enumerate(order)}
+        last_use: Dict[int, int] = {}
+        for op in order:
+            for t in op.inputs:
+                last_use[t.uid] = max(last_use.get(t.uid, -1), pos[op.uid])
+        windows: List[Tuple[int, int]] = []
+        start = 0
+        for size in sizes:
+            windows.append((start, size))
+            start += size
+        try:
+            final = self._replay_cover(
+                windows, order, keep_budget, const_budget, last_use,
+                self._initial_state(keep_budget),
+            )
+        except ValueError as exc:
+            raise InvariantViolation(
+                "repro.sched.scheduler.Scheduler.replay", str(exc)
+            ) from None
+        self._settle(final)
+        self.stats["replayed"] = 1.0
+        if _METRICS.enabled:
+            _METRICS.counter("sched.replays").inc()
+        return Schedule(steps=final.steps)
 
     def _finish(self, schedule: Schedule, t0: float) -> Schedule:
         """Stamp search stats, run the verification gate, and return."""

@@ -1,0 +1,116 @@
+"""Fingerprint stability and sensitivity.
+
+The content-addressed cache is only sound if fingerprints are (a)
+stable for identical inputs — including across separately-built graphs
+of identical structure, which have different operator uids — and (b)
+sensitive to every knob that changes the computed value.
+"""
+
+from dataclasses import replace
+
+from repro.dse.fingerprint import (
+    canonical_json,
+    digest,
+    graph_fingerprint,
+    result_fingerprint,
+    schedule_fingerprint,
+)
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_36, CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.sched.scheduler import SchedulerConfig
+
+PARAMS = parameter_set("ARK")
+
+
+def _hmult_graph(level=PARAMS.max_level):
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", level), b.input_ciphertext("y", level))
+    return b.graph
+
+
+class TestCanonicalJson:
+    def test_key_order_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_sets_become_sorted_lists(self):
+        assert canonical_json({"s": {3, 1, 2}}) == '{"s":[1,2,3]}'
+
+    def test_digest_is_hex_sha256(self):
+        fp = digest({"x": 1})
+        assert len(fp) == 64
+        assert fp == digest({"x": 1})
+
+
+class TestGraphFingerprint:
+    def test_structural_twins_share_fingerprint(self):
+        # Two independent builds: different uids, same structure.
+        assert graph_fingerprint(_hmult_graph()) == graph_fingerprint(
+            _hmult_graph()
+        )
+
+    def test_structure_changes_fingerprint(self):
+        assert graph_fingerprint(_hmult_graph()) != graph_fingerprint(
+            _hmult_graph(level=PARAMS.max_level - 2)
+        )
+
+    def test_memoized_on_graph(self):
+        graph = _hmult_graph()
+        assert graph_fingerprint(graph) is graph_fingerprint(graph)
+
+
+class TestScheduleFingerprint:
+    def test_stable_for_identical_inputs(self):
+        cfg = SchedulerConfig()
+        assert schedule_fingerprint(
+            _hmult_graph(), CROPHE_36, "crophe", cfg, None
+        ) == schedule_fingerprint(
+            _hmult_graph(), CROPHE_36, "crophe", cfg, None
+        )
+
+    def test_hw_and_knobs_and_split_matter(self):
+        graph = _hmult_graph()
+        cfg = SchedulerConfig()
+        base = schedule_fingerprint(graph, CROPHE_36, "crophe", cfg, None)
+        assert base != schedule_fingerprint(
+            graph, CROPHE_64, "crophe", cfg, None
+        )
+        assert base != schedule_fingerprint(graph, CROPHE_36, "mad", cfg, None)
+        assert base != schedule_fingerprint(
+            graph, CROPHE_36, "crophe", replace(cfg, max_group_size=3), None
+        )
+        assert base != schedule_fingerprint(
+            graph, CROPHE_36, "crophe", cfg, (64, 64)
+        )
+
+    def test_search_budget_matters(self):
+        # Different budgets can produce different (degraded) schedules,
+        # so they must not share a cache slot.
+        graph = _hmult_graph()
+        assert schedule_fingerprint(
+            graph, CROPHE_36, "crophe", SchedulerConfig(), None
+        ) != schedule_fingerprint(
+            graph, CROPHE_36, "crophe",
+            SchedulerConfig(max_search_nodes=10), None,
+        )
+
+
+class TestResultFingerprint:
+    def test_every_axis_matters(self):
+        design = {"label": "X", "dataflow": "crophe", "clusters": 1}
+        params = parameter_set("SHARP")
+        cfg = SchedulerConfig()
+        base = result_fingerprint(design, "bootstrapping", params, cfg)
+        assert base == result_fingerprint(design, "bootstrapping", params, cfg)
+        assert base != result_fingerprint(design, "helr", params, cfg)
+        assert base != result_fingerprint(
+            design, "bootstrapping", parameter_set("ARK"), cfg
+        )
+        assert base != result_fingerprint(
+            dict(design, clusters=4), "bootstrapping", params, cfg
+        )
+        assert base != result_fingerprint(
+            design, "bootstrapping", params, replace(cfg, keep_fraction=0.3)
+        )

@@ -1,0 +1,156 @@
+"""Parallel-sweep determinism and resumability.
+
+Satellite contract: the same sweep run with ``jobs=1`` and ``jobs=4``
+produces **byte-identical** artifacts, and a second run over the same
+cache reports a 100% hit rate (zero misses).
+
+One cold ``jobs=1`` sweep is shared module-wide (it pays two full
+evaluations); every other test here rides its cache or artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.dse.sweep import SweepArtifact, SweepSpec, run_sweep
+from repro.experiments.common import DesignPoint
+from repro.fhe.params import PARAMETER_SETS, CKKSParams
+from repro.hw.config import CROPHE_36
+from repro.resilience.errors import ConfigError
+
+TINY = CKKSParams(
+    log_n=12, max_level=7, boot_levels=5, dnum=2, alpha=4, word_bits=36,
+    name="tiny",
+)
+
+DESIGNS = (
+    DesignPoint("CROPHE-36", CROPHE_36),
+    DesignPoint("MAD-36", CROPHE_36, dataflow="mad",
+                use_ntt_decomposition=False, use_hybrid_rotation=False),
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_registered():
+    """Expose TINY under a parameter-set name for SweepSpec lookup."""
+    PARAMETER_SETS["tiny"] = TINY
+    yield
+    PARAMETER_SETS.pop("tiny", None)
+
+
+def _spec():
+    return SweepSpec(
+        name="t", designs=DESIGNS, param_set="tiny",
+        workloads=("bootstrapping",),
+    )
+
+
+@pytest.fixture(scope="module")
+def cold_run(tmp_path_factory):
+    """The one expensive pass: a cold jobs=1 sweep into a fresh cache."""
+    base = tmp_path_factory.mktemp("sweep")
+    cache = str(base / "cache")
+    artifact_path = str(base / "jobs1.json")
+    report = run_sweep(
+        _spec(), jobs=1, cache_dir=cache, artifact_path=artifact_path,
+    )
+    return base, cache, artifact_path, report
+
+
+class TestSpecExpansion:
+    def test_tasks_sorted_and_complete(self):
+        tasks = _spec().tasks()
+        assert [t.task_id for t in tasks] == [
+            "CROPHE-36/bootstrapping", "MAD-36/bootstrapping",
+        ]
+        assert all(t.params is TINY for t in tasks)
+
+    def test_designs_require_param_set(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(designs=DESIGNS).tasks()
+
+    def test_unknown_pairing_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(pairings=("NOPE",)).tasks()
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(designs=DESIGNS + DESIGNS[:1], param_set="tiny").tasks()
+
+    def test_pairing_grid_expands(self):
+        tasks = SweepSpec(pairings=("SHARP",)).tasks()
+        assert len(tasks) == 4  # the four Figure 9 designs per pairing
+        assert all(t.workload == "bootstrapping" for t in tasks)
+
+
+class TestDeterminism:
+    def test_cold_run_ok_with_misses(self, cold_run):
+        _, _, _, report = cold_run
+        assert report.ok, report.render()
+        assert report.cache_stats["misses"] > 0
+
+    def test_jobs_invariant_and_warm_hit_rate(self, cold_run):
+        base, cache, artifact_path, _ = cold_run
+        warm = run_sweep(
+            _spec(), jobs=4, cache_dir=cache,
+            artifact_path=str(base / "jobs4.json"),
+        )
+        assert warm.ok, warm.render()
+
+        # Byte-identical artifacts regardless of job count.
+        bytes1 = (base / "jobs1.json").read_bytes()
+        bytes4 = (base / "jobs4.json").read_bytes()
+        assert bytes1 == bytes4
+
+        # Second pass over the same cache: 100% hits, zero misses.
+        assert warm.cache_stats["misses"] == 0
+        assert warm.hit_rate == 1.0
+
+    def test_artifact_shape(self, cold_run):
+        base, _, _, _ = cold_run
+        doc = json.loads((base / "jobs1.json").read_text())
+        assert doc["kind"] == "dse-sweep"
+        entry = doc["tasks"]["CROPHE-36/bootstrapping"]
+        assert entry["status"] == "ok"
+        assert entry["result"]["kind"] == "repro-eval-result"
+        assert entry["result"]["seconds"] > 0
+        # No wall-clock pollution anywhere in the document.
+        assert "elapsed" not in json.dumps(doc)
+
+
+class TestResumeAndFailure:
+    def test_failed_task_recorded_not_raised(self, tmp_path):
+        spec = SweepSpec(
+            name="t", designs=DESIGNS[:1], param_set="tiny",
+            workloads=("no-such-workload",),
+        )
+        report = run_sweep(
+            spec, artifact_path=str(tmp_path / "sweep.json"),
+            cache_dir=str(tmp_path / "cache"), isolated=False,
+        )
+        assert not report.ok
+        artifact = SweepArtifact.load(str(tmp_path / "sweep.json"))
+        entry = artifact.tasks["CROPHE-36/no-such-workload"]
+        assert entry["status"] == "failed"
+        assert entry["error_kind"]
+
+    def test_resume_skips_completed(self, cold_run):
+        _, cache, artifact_path, _ = cold_run
+        second = run_sweep(
+            _spec(), cache_dir=cache, artifact_path=artifact_path,
+            resume=True,
+        )
+        assert second.skipped == 2
+        assert all(
+            s.status == "skipped" for s in second.statuses.values()
+        )
+        # The artifact still holds the original results.
+        artifact = SweepArtifact.load(artifact_path)
+        assert artifact.completed("CROPHE-36/bootstrapping")
+
+    def test_load_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{broken")
+        artifact = SweepArtifact.load(str(path))
+        assert artifact.tasks == {}
+        assert not artifact.completed("anything")

@@ -1,0 +1,71 @@
+"""Runner integration with the DSE layer: --jobs and --cache-dir.
+
+The cheap table cells exercise the plumbing end-to-end (parallel cell
+execution, cache-root export, metrics counters); the actual warm-cache
+behaviour of evaluations is covered by ``tests/dse/test_sweep.py``.
+"""
+
+import json
+import os
+
+from repro.dse.cache import CACHE_ENV
+from repro.experiments import runner
+from repro.resilience.isolation import RunArtifact
+
+
+class TestJobs:
+    def test_parallel_cells_all_recorded(self, tmp_path, capsys):
+        path = str(tmp_path / "art.json")
+        code = runner.main([
+            "table1", "--artifact", path, "--jobs", "2",
+        ])
+        assert code == runner.EXIT_OK
+        assert RunArtifact.load(path).completed("table1")
+        out = capsys.readouterr().out
+        assert "==== table1 ====" in out
+
+    def test_no_isolation_forces_serial(self, tmp_path):
+        # --no-isolation cells share module state; jobs must clamp to 1
+        # rather than run them concurrently in one process.
+        path = str(tmp_path / "art.json")
+        code = runner.main([
+            "table1", "--artifact", path, "--jobs", "4", "--no-isolation",
+        ])
+        assert code == runner.EXIT_OK
+
+
+class TestCacheDir:
+    def test_cache_dir_exported_and_reported(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        cache = str(tmp_path / "cache")
+        path = str(tmp_path / "art.json")
+        metrics = str(tmp_path / "metrics.json")
+        code = runner.main([
+            "table1", "--artifact", path, "--cache-dir", cache,
+            "--metrics-json", metrics,
+        ])
+        assert code == runner.EXIT_OK
+        assert os.environ.get(CACHE_ENV) == cache
+        assert "cache:" in capsys.readouterr().out
+        with open(metrics, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["kind"] == "repro-metrics"
+        for key in ("hits", "misses", "writes", "corrupt", "evictions"):
+            assert doc["metrics"][f"dse.cache.{key}"]["type"] == "counter"
+
+    def test_metrics_without_cache_dir_omit_counters(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        path = str(tmp_path / "art.json")
+        metrics = str(tmp_path / "metrics.json")
+        assert runner.main(
+            ["table1", "--artifact", path, "--metrics-json", metrics]
+        ) == runner.EXIT_OK
+        with open(metrics, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert not any(
+            key.startswith("dse.cache.") for key in doc["metrics"]
+        )
