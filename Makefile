@@ -1,6 +1,6 @@
 # Convenience targets for the CROPHE reproduction.
 
-.PHONY: install test bench bench-check bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat examples lint verify-static
+.PHONY: install test bench bench-check bench-sched bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat examples lint verify-static
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,6 +20,16 @@ bench:
 bench-check:
 	PYTHONPATH=src python -m repro.obs bench --quick --out bench_current.json
 	PYTHONPATH=src python -m repro.obs diff BENCH_seed.json bench_current.json
+
+# Cold-scheduler wall benchmark: run the quick bench suite against a
+# scratch artifact cache so every DP search pays full price, recording
+# cold search wall time plus the sched.plan.memo_* counters.  Compare
+# with `python -m repro.obs diff BENCH_seed.json bench_sched.json`.
+bench-sched:
+	rm -rf .bench-sched-cache
+	REPRO_DSE_CACHE=$(CURDIR)/.bench-sched-cache PYTHONPATH=src \
+		python -m repro.obs bench --quick --out bench_sched.json
+	rm -rf .bench-sched-cache
 
 # Export a quick ResNet-20 Perfetto trace (open at ui.perfetto.dev).
 trace:

@@ -51,7 +51,7 @@ __all__ = [
 CACHE_ENV = "REPRO_DSE_CACHE"
 
 #: Artifact kinds the store recognises.
-KINDS = ("result", "schedule")
+KINDS = ("result", "schedule", "plan")
 
 _STAT_KEYS = ("hits", "misses", "writes", "corrupt", "evictions")
 
@@ -276,7 +276,10 @@ def _atomic_write_json(path: str, document: Any) -> None:
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fp:
-            json.dump(document, fp, sort_keys=True)
+            # dumps() takes the C-accelerated encoder; dump() streams
+            # through the pure-Python one — measurably slower for the
+            # thousands of plan-skeleton writes a cold search makes.
+            fp.write(json.dumps(document, sort_keys=True))
         os.replace(tmp, path)
     except OSError:
         try:

@@ -287,17 +287,26 @@ class Operator:
     # ------------------------------------------------------------------
 
     def signature(self) -> Tuple:
-        """Structural signature (merging redundant subgraphs)."""
-        return (
-            self.kind.value,
-            self.limbs,
-            self.out_limbs,
-            self.digits,
-            self.n,
-            self.n_split,
-            tuple((t.kind.value, t.shape) for t in self.inputs),
-            tuple((t.kind.value, t.shape) for t in self.outputs),
-        )
+        """Structural signature (merging redundant subgraphs).
+
+        Memoized: an operator's structure (and its tensor wiring) is
+        immutable once built, and window-level memo keys recompute this
+        for every candidate window of every DP search.
+        """
+        sig = self.__dict__.get("_signature")
+        if sig is None:
+            sig = (
+                self.kind.value,
+                self.limbs,
+                self.out_limbs,
+                self.digits,
+                self.n,
+                self.n_split,
+                tuple((t.kind.value, t.shape) for t in self.inputs),
+                tuple((t.kind.value, t.shape) for t in self.outputs),
+            )
+            self._signature = sig
+        return sig
 
     def __repr__(self) -> str:
         return f"<op {self.name} {self.kind.value} L={self.limbs} N={self.n}>"

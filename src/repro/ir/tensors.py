@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 
@@ -54,14 +55,16 @@ class DataTensor:
     word_bytes: int = 8
     uid: int = field(default_factory=lambda: next(_ids))
 
-    @property
+    # Cached: shapes are immutable after construction, and the DP
+    # scheduler reads tensor sizes millions of times per search.
+    @cached_property
     def elements(self) -> int:
         total = 1
         for d in self.shape:
             total *= d
         return total
 
-    @property
+    @cached_property
     def bytes(self) -> int:
         return self.elements * self.word_bytes
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
-from repro.sim.stats import dominant
+from repro.sim.stats import bottleneck_order, dominant
 from repro.sim.trace import EventKind, TraceEvent
 
 __all__ = [
@@ -31,8 +31,10 @@ __all__ = [
     "attribution_summary",
 ]
 
-#: Resource columns in display order (ties break leftward).
-RESOURCES = ("pe", "noc", "dram", "sram", "transpose")
+#: Resource columns in display order (ties break leftward), derived
+#: from the canonical :data:`~repro.sim.stats.BOTTLENECK_PRECEDENCE`
+#: so this table can never disagree with the engine or cost model.
+RESOURCES = bottleneck_order(("pe", "noc", "dram", "sram", "transpose"))
 
 _KIND_TO_RESOURCE = {
     EventKind.NOC_TRANSFER: "noc",

@@ -12,8 +12,13 @@ guards against resuming onto a different problem.
 
 On resume the scheduler replays each stored cover through its (fully
 deterministic) transition function to rebuild the DP states, then
-continues the outer loop from ``next_i`` — reproducing the exact
-schedule an uninterrupted run would have found.
+continues the outer loop from ``next_i`` — and, because a budget can
+trip *inside* the window-size loop after some sizes at ``next_i`` were
+already explored, the checkpoint also records ``next_size``: the first
+window size at ``next_i`` that was charged but **not** fully explored.
+Resuming exactly there means no candidate is explored (or budgeted)
+twice, reproducing the exact schedule an uninterrupted run would have
+found.
 """
 
 from __future__ import annotations
@@ -25,7 +30,9 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-_FORMAT_VERSION = 1
+#: Version 2 added ``next_size`` (exact mid-size-loop resume); version
+#: 1 files load as stale and fall back to a fresh search.
+_FORMAT_VERSION = 2
 
 
 def search_fingerprint(*parts: object) -> str:
@@ -41,12 +48,16 @@ class SearchCheckpoint:
     Attributes:
         fingerprint: structural hash the checkpoint is valid for.
         next_i: outer topological position the search resumes from.
+        next_size: first window size at ``next_i`` not yet explored
+            (sizes ``1..next_size-1`` are already folded into the
+            covers and must not be re-explored on resume).
         covers: DP index -> window cover ``[(start, size), ...]`` of
             the best state known for that index.
     """
 
     fingerprint: str
     next_i: int = 0
+    next_size: int = 1
     covers: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
 
     def save(self, path: str) -> None:
@@ -55,6 +66,7 @@ class SearchCheckpoint:
             "version": _FORMAT_VERSION,
             "fingerprint": self.fingerprint,
             "next_i": self.next_i,
+            "next_size": self.next_size,
             "covers": {
                 str(j): [list(w) for w in windows]
                 for j, windows in self.covers.items()
@@ -95,8 +107,12 @@ class SearchCheckpoint:
                 for j, windows in payload["covers"].items()
             }
             next_i = int(payload["next_i"])
+            next_size = int(payload["next_size"])
         except (KeyError, TypeError, ValueError):
             return None
+        if next_size < 1:
+            return None
         return SearchCheckpoint(
-            fingerprint=fingerprint, next_i=next_i, covers=covers
+            fingerprint=fingerprint, next_i=next_i, next_size=next_size,
+            covers=covers,
         )

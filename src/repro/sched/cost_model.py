@@ -26,6 +26,7 @@ from repro.sched.dataflow import (
     Schedule,
     SpatialGroupPlan,
 )
+from repro.sim.stats import dominant_bottleneck
 
 
 @dataclass
@@ -45,6 +46,9 @@ class TimeBreakdown:
 
     @property
     def bottleneck(self) -> str:
+        """The limiting resource, ties broken by the canonical
+        :data:`~repro.sim.stats.BOTTLENECK_PRECEDENCE` (shared with the
+        engine and the obs attribution tables)."""
         values = {
             "compute": self.compute,
             "dram": self.dram,
@@ -52,7 +56,7 @@ class TimeBreakdown:
             "noc": self.noc,
             "transpose": self.transpose,
         }
-        return max(values, key=values.get)
+        return dominant_bottleneck(values)
 
 
 def group_time_breakdown(

@@ -35,6 +35,43 @@ from repro.resilience.errors import InvariantViolation
 from repro.sched.tiling import NestAssignment, assign_loop_nests
 
 
+#: Derived hardware-model objects per configuration.  ``for_config``
+#: construction is deterministic, so serving one instance per config
+#: changes nothing but the allocation count — ``execution_seconds``
+#: runs once per DP transition and was rebuilding all four each time.
+_MODEL_CACHE: Dict[
+    HardwareConfig, Tuple[HbmMemory, SramBuffer, MeshNoc, TransposeUnit]
+] = {}
+
+
+#: Identity fast-path: a DP search prices hundreds of thousands of
+#: windows against the *same* config object, and hashing the 15-field
+#: frozen dataclass per lookup is measurable.
+_MODELS_LAST: Optional[
+    Tuple[HardwareConfig, Tuple[HbmMemory, SramBuffer, MeshNoc, TransposeUnit]]
+] = None
+
+
+def _models_for(
+    cfg: HardwareConfig,
+) -> Tuple[HbmMemory, SramBuffer, MeshNoc, TransposeUnit]:
+    global _MODELS_LAST
+    last = _MODELS_LAST
+    if last is not None and last[0] is cfg:
+        return last[1]
+    models = _MODEL_CACHE.get(cfg)
+    if models is None:
+        models = (
+            HbmMemory.for_config(cfg),
+            SramBuffer.for_config(cfg),
+            MeshNoc.for_config(cfg),
+            TransposeUnit.for_config(cfg),
+        )
+        _MODEL_CACHE[cfg] = models
+    _MODELS_LAST = (cfg, models)
+    return models
+
+
 def _specialized_cycles(op: Operator, cfg: HardwareConfig) -> int:
     """Cycles on a specialized baseline: only the matching functional
     units' share of the total logic works on this operator class."""
@@ -101,6 +138,40 @@ class SpatialGroupPlan:
         self.assignment = assignment or assign_loop_nests(graph, ops, n_split)
         self.pe_allocation = self._allocate_pes()
         self.metrics = self._compute_metrics()
+        self._boundary: Optional[
+            Tuple[List[DataTensor], List[DataTensor]]
+        ] = None
+        self._seconds_floor: Optional[float] = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        graph: OperatorGraph,
+        ops: Sequence[Operator],
+        config: HardwareConfig,
+        n_split: Optional[Tuple[int, int]],
+        assignment: NestAssignment,
+        pe_allocation: Dict[int, int],
+        metrics: GroupMetrics,
+    ) -> "SpatialGroupPlan":
+        """Assemble a plan from precomputed parts (structural memo).
+
+        Skips loop-nest assignment, PE allocation, and the metrics walk
+        entirely — the caller (:mod:`repro.sched.plan_memo`) guarantees
+        the parts were computed on a structurally identical window, so
+        the result is indistinguishable from direct construction.
+        """
+        plan = cls.__new__(cls)
+        plan.graph = graph
+        plan.ops = tuple(ops)
+        plan.config = config
+        plan.n_split = n_split
+        plan.assignment = assignment
+        plan.pe_allocation = pe_allocation
+        plan.metrics = metrics
+        plan._boundary = None
+        plan._seconds_floor = None
+        return plan
 
     # ------------------------------------------------------------------
     # PE allocation (Section IV-B: proportional to computational load)
@@ -202,7 +273,7 @@ class SpatialGroupPlan:
                             m.transpose_bytes += t.bytes
                             buffer += min(
                                 t.bytes,
-                                TransposeUnit.for_config(cfg).capacity_bytes,
+                                _models_for(cfg)[3].capacity_bytes,
                             )
                         else:
                             buffer += t.bytes
@@ -284,34 +355,23 @@ class SpatialGroupPlan:
         """
         cfg = self.config
         m = self.metrics
-        eff = GroupMetrics(
-            compute_cycles=m.compute_cycles,
-            buffer_bytes=m.buffer_bytes,
-            noc_bytes=m.noc_bytes,
-            transpose_bytes=m.transpose_bytes,
-            sram_bytes=m.sram_bytes,
-            dram_read_bytes=m.dram_read_bytes,
-            dram_write_bytes=m.dram_write_bytes,
-            constant_bytes=dict(m.constant_bytes),
-            external_read_bytes=dict(m.external_read_bytes),
-        )
+        # Shallow-clone the metrics (dataclass __init__ is slow for a
+        # once-per-transition call); the two dicts get fresh copies.
+        eff = GroupMetrics.__new__(GroupMetrics)
+        eff.__dict__.update(m.__dict__)
+        eff.constant_bytes = dict(m.constant_bytes)
+        eff.external_read_bytes = dict(m.external_read_bytes)
         resident_inputs = resident_inputs or set()
         resident_constants = resident_constants or set()
-        uids = {op.uid for op in self.ops}
         # Inputs already in SRAM skip the DRAM read (discount the charged
-        # slice once per tensor).
-        discounted: Set[int] = set()
-        for op in self.ops:
-            for t in op.inputs:
-                producer = self.graph.producer_of(t)
-                internal = producer is not None and producer.uid in uids
-                if internal or t.is_constant or t.uid in discounted:
-                    continue
-                if t.uid in resident_inputs:
-                    discounted.add(t.uid)
-                    eff.dram_read_bytes -= m.external_read_bytes.get(
-                        t.uid, t.bytes
-                    )
+        # slice once per tensor).  ``external_read_bytes`` already holds
+        # exactly one entry per external non-constant input with its
+        # charged slice, so iterating it is equivalent to re-walking
+        # every operator input — and this method runs once per DP
+        # transition, where the walk dominated.
+        for uid, nbytes in m.external_read_bytes.items():
+            if uid in resident_inputs:
+                eff.dram_read_bytes -= nbytes
         # Constants already resident (temporal sharing) are not re-read;
         # with data-parallel clusters (CROPHE-p) one fetch feeds all
         # ``constant_share`` clusters via multicast, so each cluster pays
@@ -331,10 +391,7 @@ class SpatialGroupPlan:
             eff.dram_write_bytes = max(eff.dram_write_bytes, 0)
         eff.dram_write_bytes += max(extra_write_bytes, 0)
 
-        hbm = HbmMemory.for_config(cfg)
-        sram = SramBuffer.for_config(cfg)
-        noc = MeshNoc.for_config(cfg)
-        tpu = TransposeUnit.for_config(cfg)
+        hbm, sram, noc, tpu = _models_for(cfg)
         compute_s = eff.compute_cycles / (cfg.frequency_ghz * 1e9)
         dram_s = hbm.access_seconds(eff.dram_bytes)
         sram_s = sram.access_seconds(eff.sram_bytes)
@@ -350,9 +407,42 @@ class SpatialGroupPlan:
         transpose_s = tpu.transpose_seconds(eff.transpose_bytes)
         return max(compute_s, dram_s, sram_s, noc_s, transpose_s), eff
 
+    def seconds_floor(self) -> float:
+        """Exact lower bound on :meth:`execution_seconds` (cached).
+
+        Residency discounts and deferred spills only move the *DRAM*
+        term; the compute/SRAM/NoC/transpose terms below use the very
+        same expressions as :meth:`execution_seconds`, so
+        ``max`` of them can never exceed the priced step time.  The DP
+        uses this to skip transitions that provably cannot beat an
+        existing frontier state.
+        """
+        floor = self._seconds_floor
+        if floor is None:
+            cfg = self.config
+            m = self.metrics
+            _, sram, noc, tpu = _models_for(cfg)
+            compute_s = m.compute_cycles / (cfg.frequency_ghz * 1e9)
+            sram_s = sram.access_seconds(m.sram_bytes)
+            if cfg.fu_mix is not None:
+                noc_s = 0.0
+            else:
+                noc_s = (
+                    m.noc_bytes
+                    / (noc.aggregate_bytes_per_cycle()
+                       * cfg.frequency_ghz * 1e9)
+                    * 4.0
+                )
+            transpose_s = tpu.transpose_seconds(m.transpose_bytes)
+            floor = max(compute_s, sram_s, noc_s, transpose_s)
+            self._seconds_floor = floor
+        return floor
+
     def boundary(self) -> Tuple[List[DataTensor], List[DataTensor]]:
-        """External (inputs, outputs) of this group."""
-        return self.graph.boundary_tensors(self.ops)
+        """External (inputs, outputs) of this group (cached)."""
+        if self._boundary is None:
+            self._boundary = self.graph.boundary_tensors(self.ops)
+        return self._boundary
 
     def __repr__(self) -> str:
         return (

@@ -31,12 +31,13 @@ of restarting.
 from __future__ import annotations
 
 import time as _time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.hw.config import HardwareConfig
 from repro.ir.graph import OperatorGraph
-from repro.ir.loops import power_of_two_splits
+from repro.ir.loops import matched_prefix, power_of_two_splits
 from repro.ir.operators import Operator
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.tracer import span as _span
@@ -49,6 +50,7 @@ from repro.resilience.errors import (
     SearchBudgetExceeded,
 )
 from repro.sched.dataflow import Schedule, ScheduledStep, SpatialGroupPlan
+from repro.sched.plan_memo import MEMO as _PLAN_MEMO, memo_enabled
 
 #: Fusion depth of the greedy fallback scheduler (MAD-style windows).
 GREEDY_FALLBACK_WINDOW = 4
@@ -102,6 +104,14 @@ class SchedulerConfig:
     #: schedule, ``"warn"`` downgrades the findings to a warning,
     #: ``"off"`` skips the gate.
     verify: str = "error"
+    #: Worker threads pricing the candidate windows of one DP frontier
+    #: (1 = serial).  Pricing is pure (plans and transitions read shared
+    #: state, never write it) and the budget is charged serially before
+    #: the batch with results applied in size order afterwards, so the
+    #: schedule is float-identical to the serial path — this knob only
+    #: trades threads for cold wall-clock.  Excluded from search and
+    #: sweep fingerprints for exactly that reason.
+    sched_jobs: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -161,6 +171,11 @@ class SchedulerConfig:
             raise ConfigError(
                 "verify", self.verify,
                 'the verification gate is "error", "warn", or "off"',
+            )
+        if not isinstance(self.sched_jobs, int) or self.sched_jobs < 1:
+            raise ConfigError(
+                "sched_jobs", self.sched_jobs,
+                "frontier pricing needs >= 1 worker (1 = serial)",
             )
 
     def validate_for_hardware(self, hw: HardwareConfig) -> None:
@@ -238,22 +253,40 @@ class Scheduler:
         self.n_split = n_split
         self.checkpoint_path = checkpoint_path
         self._plan_cache: Dict[Tuple, SpatialGroupPlan] = {}
+        #: Sampled once — the memo gate sits on the hottest path.
+        self._memo_enabled = memo_enabled()
+        #: Per-plan consumed-uid sets and per-(producer plan, consumer
+        #: plan, tensor) streamability verdicts.  Both are pure
+        #: functions of plans this scheduler holds alive, recomputed
+        #: otherwise on every DP transition.
+        self._consumed_cache: Dict[SpatialGroupPlan, Set[int]] = {}
+        self._stream_cache: Dict[
+            Tuple[SpatialGroupPlan, SpatialGroupPlan, int], bool
+        ] = {}
         self.stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
 
     def _plan_for(self, window: Tuple[Operator, ...]) -> SpatialGroupPlan:
-        """Plan construction, cached per window identity.
+        """Plan construction, cached per window identity and structure.
 
-        Cross-structure redundancy merging (the same KeySwitch subgraph
-        appearing many times) happens one level up: workloads expose
-        repeated segments that are scheduled once and multiplied — see
-        ``repro.workloads``.
+        Two tiers: the per-scheduler identity cache (this exact window,
+        by uid — repriced windows reuse the very same plan object), then
+        the process-wide *structural* memo
+        (:data:`repro.sched.plan_memo.MEMO`), which serves every window
+        whose shape it has seen before — the same KeySwitch ladder or
+        BSGS diamond recurring within a graph, across NTT-split
+        candidates, and across the graphs of a sweep — by rebinding a
+        stored plan skeleton instead of re-running nest assignment, PE
+        allocation, and the metrics walk.
         """
         key = tuple(op.uid for op in window)
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = SpatialGroupPlan(self.graph, window, self.hw, self.n_split)
+            plan = _PLAN_MEMO.plan_for(
+                self.graph, window, self.hw, self.n_split,
+                enabled=self._memo_enabled, uids=key,
+            )
             self._plan_cache[key] = plan
         return plan
 
@@ -341,14 +374,18 @@ class Scheduler:
         const_budget: int,
         last_use: Dict[int, int],
         dp: List[Optional[_DpState]],
-    ) -> int:
+    ) -> Tuple[int, int]:
         """Load a matching checkpoint into ``dp``; return the resume
-        position (0 when no usable checkpoint exists)."""
+        point ``(next_i, next_size)`` — ``(0, 1)`` when no usable
+        checkpoint exists.  ``next_size`` matters when the budget
+        tripped *inside* the window-size loop: sizes below it at
+        ``next_i`` are already folded into the restored covers, and
+        re-exploring them would double-charge the budget."""
         if self.checkpoint_path is None:
-            return 0
+            return 0, 1
         ckpt = SearchCheckpoint.load(self.checkpoint_path, fingerprint)
         if ckpt is None:
-            return 0
+            return 0, 1
         try:
             for j, windows in sorted(ckpt.covers.items()):
                 if not 1 <= j <= len(order):
@@ -362,11 +399,11 @@ class Scheduler:
             # search: drop everything replayed and start over.
             for j in range(1, len(dp)):
                 dp[j] = None
-            return 0
+            return 0, 1
         self.stats["resumed_from"] = float(ckpt.next_i)
         if _METRICS.enabled:
             _METRICS.counter("sched.checkpoint_restores").inc()
-        return min(max(ckpt.next_i, 0), len(order))
+        return min(max(ckpt.next_i, 0), len(order)), max(ckpt.next_size, 1)
 
     def _save_checkpoint(
         self,
@@ -374,6 +411,7 @@ class Scheduler:
         next_i: int,
         dp: Sequence[Optional[_DpState]],
         pos: Dict[int, int],
+        next_size: int = 1,
     ) -> None:
         """Persist the per-window best covers reached so far."""
         if self.checkpoint_path is None:
@@ -384,7 +422,8 @@ class Scheduler:
             if j > 0 and state is not None
         }
         SearchCheckpoint(
-            fingerprint=fingerprint, next_i=next_i, covers=covers
+            fingerprint=fingerprint, next_i=next_i, next_size=next_size,
+            covers=covers,
         ).save(self.checkpoint_path)
         if _METRICS.enabled:
             _METRICS.counter("sched.checkpoint_saves").inc()
@@ -436,45 +475,113 @@ class Scheduler:
 
         meter = BudgetMeter(self.config.budget())
         self._meter = meter
+        self._memo_base = _PLAN_MEMO.snapshot()
         dp: List[Optional[_DpState]] = [None] * (n + 1)
         dp[0] = self._initial_state(keep_budget)
         fingerprint = self._search_fingerprint(order)
-        start_i = self._restore_checkpoint(
+        start_i, start_size = self._restore_checkpoint(
             fingerprint, order, keep_budget, const_budget, last_use, dp
         )
-        interrupted_at: Optional[int] = None
-        for i in range(start_i, n):
-            if meter.exceeded:
-                interrupted_at = i
-                break
-            state = dp[i]
-            if state is None:
-                continue
-            for size in range(1, self.config.max_group_size + 1):
-                if i + size > n:
-                    break
-                meter.charge()
+        jobs = self.config.sched_jobs
+        executor = (
+            ThreadPoolExecutor(max_workers=jobs) if jobs > 1 else None
+        )
+        #: The exact (position, window size) the budget tripped at — the
+        #: resume point a checkpoint must record so no candidate is
+        #: explored (or budget-charged) twice across interruptions.
+        interrupted_at: Optional[Tuple[int, int]] = None
+        try:
+            for i in range(start_i, n):
                 if meter.exceeded:
-                    interrupted_at = i
+                    interrupted_at = (i, 1)
                     break
-                window = tuple(order[i: i + size])
-                plan = self._plan_for(window)
-                if not plan.feasible_allocation:
-                    break
-                if not plan.fits_buffer:
+                state = dp[i]
+                if state is None:
                     continue
-                step, new_state = self._transition(
-                    state, plan, keep_budget, const_budget,
-                    end_pos=i + size, last_use=last_use,
-                )
-                j = i + size
-                if dp[j] is None or new_state.seconds < dp[j].seconds:
-                    dp[j] = new_state
-            if interrupted_at is not None:
-                break
+
+                # Charge the budget serially, in size order, *before*
+                # pricing: the interruption point is then identical
+                # whether the batch below prices serially or in
+                # parallel.
+                size_lo = start_size if i == start_i else 1
+                sizes: List[int] = []
+                budget_trip: Optional[int] = None
+                for size in range(size_lo, self.config.max_group_size + 1):
+                    if i + size > n:
+                        break
+                    meter.charge()
+                    if meter.exceeded:
+                        budget_trip = size
+                        break
+                    sizes.append(size)
+
+                def _price(
+                    size: int, state: _DpState = state, i: int = i
+                ) -> Optional[Tuple[ScheduledStep, _DpState]]:
+                    window = tuple(order[i: i + size])
+                    plan = self._plan_for(window)
+                    if not plan.feasible_allocation:
+                        # Infeasible at this size does not rule out
+                        # larger windows — feasibility is a property of
+                        # the whole window, not a prefix of it — so
+                        # *skip* this size rather than abandoning the
+                        # frontier (a `break` here silently pruned every
+                        # larger candidate).
+                        return None
+                    if not plan.fits_buffer:
+                        return None
+                    # Dominance prune: residency discounts only lower
+                    # the DRAM term, so ``seconds_floor`` bounds the
+                    # step time from below.  A candidate that cannot
+                    # beat the state already at dp[i+size] would be
+                    # discarded by the strict `<` in the apply loop —
+                    # skipping it leaves dp evolution byte-identical.
+                    # (dp[i+size] is only written after this whole
+                    # batch prices, so the read is race-free under
+                    # parallel pricing too.)
+                    existing = dp[i + size]
+                    if (
+                        existing is not None
+                        and state.seconds + plan.seconds_floor()
+                        >= existing.seconds
+                    ):
+                        return None
+                    return self._transition(
+                        state, plan, keep_budget, const_budget,
+                        end_pos=i + size, last_use=last_use,
+                    )
+
+                # Pricing is pure (reads dp[i] and the plan, writes
+                # nothing shared), so the batch can fan out to threads;
+                # results are applied in size order below either way,
+                # which keeps dp evolution — and thus the schedule —
+                # float-identical to the serial path.
+                if executor is not None and len(sizes) > 1:
+                    self.stats["parallel_priced"] = (
+                        self.stats.get("parallel_priced", 0.0) + len(sizes)
+                    )
+                    priced = list(executor.map(_price, sizes))
+                else:
+                    priced = [_price(size) for size in sizes]
+                for size, result in zip(sizes, priced):
+                    if result is None:
+                        continue
+                    _, new_state = result
+                    j = i + size
+                    if dp[j] is None or new_state.seconds < dp[j].seconds:
+                        dp[j] = new_state
+                if budget_trip is not None:
+                    interrupted_at = (i, budget_trip)
+                    break
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
 
         if interrupted_at is not None:
-            self._save_checkpoint(fingerprint, interrupted_at, dp, pos)
+            self._save_checkpoint(
+                fingerprint, interrupted_at[0], dp, pos,
+                next_size=interrupted_at[1],
+            )
             frontier = max(
                 (j for j, s in enumerate(dp) if s is not None), default=0
             )
@@ -576,6 +683,20 @@ class Scheduler:
         meter: Optional[BudgetMeter] = getattr(self, "_meter", None)
         if meter is not None:
             self.stats["windows_explored"] = float(meter.nodes)
+        # Structural plan-memo activity during this search (the memo is
+        # process-wide; counters are stamped here, single-threaded, so
+        # pricing workers never race on the registry).
+        memo_hits = memo_misses = 0
+        base = getattr(self, "_memo_base", None)
+        if base is not None:
+            snap = _PLAN_MEMO.snapshot()
+            memo_hits = (
+                snap["memo_hit"] - base["memo_hit"]
+                + snap["disk_hit"] - base["disk_hit"]
+            )
+            memo_misses = snap["memo_miss"] - base["memo_miss"]
+            self.stats["plan_memo_hits"] = float(memo_hits)
+            self.stats["plan_memo_misses"] = float(memo_misses)
         if _METRICS.enabled:
             _METRICS.counter("sched.searches").inc()
             _METRICS.counter("sched.plans_cached").inc(len(self._plan_cache))
@@ -584,6 +705,13 @@ class Scheduler:
             )
             if meter is not None:
                 _METRICS.counter("sched.windows_explored").inc(meter.nodes)
+            if memo_hits:
+                _METRICS.counter("sched.plan.memo_hit").inc(memo_hits)
+            if memo_misses:
+                _METRICS.counter("sched.plan.memo_miss").inc(memo_misses)
+            parallel = int(self.stats.get("parallel_priced", 0))
+            if parallel:
+                _METRICS.counter("sched.price.parallel").inc(parallel)
             if schedule.degraded:
                 _METRICS.counter("sched.degraded_fallbacks").inc()
         self._verify_gate(schedule)
@@ -685,10 +813,13 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _consumed_uids(self, plan: SpatialGroupPlan) -> Set[int]:
-        uids = set()
-        for op in plan.ops:
-            for t in op.inputs:
-                uids.add(t.uid)
+        uids = self._consumed_cache.get(plan)
+        if uids is None:
+            uids = set()
+            for op in plan.ops:
+                for t in op.inputs:
+                    uids.add(t.uid)
+            self._consumed_cache[plan] = uids
         return uids
 
     def _streamable(
@@ -698,9 +829,28 @@ class Scheduler:
         plan: SpatialGroupPlan,
     ) -> bool:
         """Can a deferred tensor stream from the previous group into this
-        one (matched top loops across the boundary, Section V-A)?"""
+        one (matched top loops across the boundary, Section V-A)?
+
+        Pure in its arguments, so verdicts are cached per (producer
+        plan, consumer plan, tensor) — the same plan pair is re-queried
+        from many DP states.
+        """
         if prev_plan is None or not self.config.temporal_streaming:
             return False
+        key = (prev_plan, plan, uid)
+        hit = self._stream_cache.get(key)
+        if hit is not None:
+            return hit
+        verdict = self._streamable_uncached(uid, prev_plan, plan)
+        self._stream_cache[key] = verdict
+        return verdict
+
+    def _streamable_uncached(
+        self,
+        uid: int,
+        prev_plan: SpatialGroupPlan,
+        plan: SpatialGroupPlan,
+    ) -> bool:
         producer_op = None
         for op in prev_plan.ops:
             if any(t.uid == uid for t in op.outputs):
@@ -708,8 +858,6 @@ class Scheduler:
                 break
         if producer_op is None:
             return False
-        from repro.ir.loops import matched_prefix
-
         prod_nest = prev_plan.assignment.nest_of(producer_op)
         for op in plan.ops:
             if any(t.uid == uid for t in op.inputs):
@@ -778,7 +926,7 @@ class Scheduler:
             else:
                 spill_bytes += nbytes
 
-        resident_inputs = set(new_pool) | streamed | set(state.pool)
+        resident_inputs = new_pool.keys() | streamed | state.pool.keys()
         # Outputs of this window: pool what fits, defer the rest.
         _, outs = plan.boundary()
         kept: Set[int] = set()
@@ -807,16 +955,23 @@ class Scheduler:
             seconds=seconds,
             metrics=metrics,
             resident_inputs=resident_inputs,
-            resident_constants=set(resident_constants),
+            # Resident-constant sets are never mutated in place after a
+            # transition, so steps and states can share them.
+            resident_constants=resident_constants,
             kept_outputs=kept,
         )
         # Update the resident-constant pool (kept while the budget holds).
-        new_consts = set(state.resident_constants)
+        new_consts = state.resident_constants
         new_const_bytes = state.resident_constant_bytes
+        added: Optional[Set[int]] = None
         for uid, nbytes in plan.metrics.constant_bytes.items():
             if uid not in new_consts and new_const_bytes + nbytes <= const_budget:
-                new_consts.add(uid)
+                if added is None:
+                    added = set()
+                added.add(uid)
                 new_const_bytes += nbytes
+        if added:
+            new_consts = state.resident_constants | added
         new_state = _DpState(
             seconds=state.seconds + seconds,
             steps=state.steps + [step],

@@ -35,12 +35,19 @@ from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.tracer import span as _span
 from repro.sched.dataflow import Schedule, ScheduledStep
 from repro.sched.mapper import GroupMapping, map_group
-from repro.sim.stats import TrafficReport, UtilizationReport, dominant
+from repro.sim.stats import (
+    TrafficReport,
+    UtilizationReport,
+    bottleneck_order,
+    dominant,
+)
 from repro.sim.trace import EventKind, TraceEvent
 
 #: Attribution precedence for per-step bottleneck winners (ties go to
-#: the earlier resource), matching the paper's limiter discussion.
-BOTTLENECK_ORDER = ("pe", "noc", "dram", "sram", "tpu")
+#: the earlier resource), derived from the canonical
+#: :data:`~repro.sim.stats.BOTTLENECK_PRECEDENCE` (``tpu`` is the
+#: engine's spelling of the transpose unit).
+BOTTLENECK_ORDER = bottleneck_order(("pe", "noc", "dram", "sram", "tpu"))
 
 #: Synchronous group-switch overhead (drain + reconfigure), in cycles.
 BARRIER_CYCLES = 200

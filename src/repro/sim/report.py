@@ -13,7 +13,7 @@ from repro.hw.config import HardwareConfig
 from repro.hw.memory import HbmMemory, SramBuffer
 from repro.sched.dataflow import Schedule, ScheduledStep
 from repro.sim.engine import SimResult
-from repro.sim.stats import dominant
+from repro.sim.stats import dominant_bottleneck
 
 
 def _bottleneck(step: ScheduledStep, hw: HardwareConfig) -> str:
@@ -25,7 +25,7 @@ def _bottleneck(step: ScheduledStep, hw: HardwareConfig) -> str:
         "dram": HbmMemory.for_config(hw).access_seconds(m.dram_bytes),
         "sram": SramBuffer.for_config(hw).access_seconds(m.sram_bytes),
     }
-    return dominant(candidates, order=("compute", "dram", "sram"))
+    return dominant_bottleneck(candidates)
 
 
 def schedule_table(

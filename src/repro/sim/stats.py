@@ -1,9 +1,59 @@
-"""Utilization and traffic statistics (Table IV / Figure 11 inputs)."""
+"""Utilization and traffic statistics (Table IV / Figure 11 inputs).
+
+This module also owns the **canonical bottleneck tie-break**: every
+place that names "the limiting resource" — the simulation engine's
+per-step winners, :mod:`repro.obs.attribution`, the cost model's
+:class:`~repro.sched.cost_model.TimeBreakdown`, and the report
+renderers — resolves ties through :data:`BOTTLENECK_PRECEDENCE` (via
+:func:`bottleneck_order` / :func:`dominant_bottleneck`), so Table IV,
+``schedule_bottleneck_profile``, and the obs tables can never disagree
+on a tied group.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+#: Canonical bottleneck-attribution precedence (ties go leftward):
+#: compute first, then the interconnect, then the memory system, then
+#: the transpose unit — the order the paper discusses limiters in.
+BOTTLENECK_PRECEDENCE = ("pe", "noc", "dram", "sram", "transpose")
+
+#: Domain-specific spellings of the canonical resource names.  The
+#: engine says ``tpu``, the cost model says ``compute``, utilization
+#: reports say ``dram_bw``/``sram_bw`` — all one precedence.
+RESOURCE_ALIASES = {
+    "compute": "pe",
+    "tpu": "transpose",
+    "dram_bw": "dram",
+    "sram_bw": "sram",
+}
+
+
+def canonical_resource(name: str) -> str:
+    """Map a domain spelling onto its canonical resource name."""
+    return RESOURCE_ALIASES.get(name, name)
+
+
+def bottleneck_order(names: Sequence[str]) -> Tuple[str, ...]:
+    """Order resource spellings by the canonical precedence.
+
+    Names whose canonical form is not in :data:`BOTTLENECK_PRECEDENCE`
+    sort after every known resource, keeping their given order — the
+    sort is stable, so callers with exotic extra keys stay
+    deterministic too.
+    """
+    known = {r: i for i, r in enumerate(BOTTLENECK_PRECEDENCE)}
+    return tuple(sorted(
+        names,
+        key=lambda n: known.get(canonical_resource(n), len(known)),
+    ))
+
+
+def dominant_bottleneck(values: Mapping[str, float]) -> str:
+    """:func:`dominant` under the canonical bottleneck precedence."""
+    return dominant(values, order=bottleneck_order(tuple(values)))
 
 
 def dominant(
@@ -44,9 +94,11 @@ class UtilizationReport:
     dram_bw: float = 0.0
     transpose: float = 0.0
 
-    #: Attribution precedence: compute first, then interconnect, then
-    #: the memory system — the order the paper discusses limiters in.
-    FIELD_ORDER = ("pe", "noc", "sram_bw", "dram_bw", "transpose")
+    #: Attribution precedence, derived from the canonical
+    #: :data:`BOTTLENECK_PRECEDENCE` so every table tie-breaks alike.
+    FIELD_ORDER = bottleneck_order(
+        ("pe", "noc", "sram_bw", "dram_bw", "transpose")
+    )
 
     @classmethod
     def from_busy(
@@ -106,6 +158,9 @@ class TrafficReport:
     noc_bytes: int = 0
     transpose_bytes: int = 0
 
+    #: Tie order for traffic *volume* (outer memory level first) — a
+    #: different question from bottleneck attribution, so deliberately
+    #: not :data:`BOTTLENECK_PRECEDENCE`.
     FIELD_ORDER = ("dram", "sram", "noc", "transpose")
 
     @property
