@@ -1,6 +1,6 @@
 # Convenience targets for the CROPHE reproduction.
 
-.PHONY: install test bench bench-check bench-sched bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat examples lint verify-static
+.PHONY: install test bench bench-check bench-sched bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat serve serve-chaos examples lint verify-static
 
 install:
 	pip install -e . || python setup.py develop
@@ -54,6 +54,24 @@ experiments-cached:
 
 dse-stat:
 	PYTHONPATH=src python -m repro.dse stat --cache-dir .dse-cache
+
+# Fleet-serving simulator: the quick chaos scenario (200 requests on
+# 4 accelerators under the seeded "quick" fault plan — one crash, two
+# stragglers, one transient).  Exit 0 means zero lost requests.
+serve:
+	PYTHONPATH=src python -m repro.serve run --quick --faults quick --seed 7 \
+		--summary-json serve_summary.json
+
+# Determinism-under-chaos check: the aggressive fault plan, run twice
+# in separate processes with the same seed; the two summaries must be
+# byte-identical (CI's chaos-smoke job runs the same check).
+serve-chaos:
+	PYTHONPATH=src python -m repro.serve run --quick --faults aggressive \
+		--seed 3 --summary-json serve_chaos_a.json
+	PYTHONPATH=src python -m repro.serve run --quick --faults aggressive \
+		--seed 3 --summary-json serve_chaos_b.json
+	cmp serve_chaos_a.json serve_chaos_b.json
+	@echo "chaos determinism: summaries byte-identical"
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

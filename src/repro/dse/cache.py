@@ -12,7 +12,17 @@ Robustness contract (tested): a truncated file, garbage JSON, a stale
 :data:`~repro.dse.fingerprint.FORMAT_VERSION`, or a kind/fingerprint
 mismatch **degrades to a miss** — a :class:`~repro.resilience.errors.
 CacheError` warning is emitted, ``dse.cache.corrupt`` is counted, and
-the caller recomputes.  The cache never crashes an evaluation.
+the caller recomputes.  The cache never crashes an evaluation.  The
+offending file is **quarantined** to ``<root>/quarantine/`` on the
+first failed read, so later runs see a clean miss instead of
+re-parsing and re-warning about the same bad bytes; the recompute's
+``put`` repairs the entry in place.
+
+For chaos drills, :meth:`ArtifactCache.inject_read_fault` arms
+deterministic read faults: the next matching lookup is treated
+exactly like an on-disk corruption (warned, counted, quarantined,
+degraded to a miss) — this is the hook the serving simulator's fault
+plane (``repro.serve.faults``) drives.
 
 Because evaluations run in crash-isolated child processes (which never
 run ``atexit`` handlers — they exit via ``os._exit``), per-process hit/
@@ -29,7 +39,7 @@ import tempfile
 import threading
 import uuid
 import warnings
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.dse.fingerprint import FORMAT_VERSION
 from repro.obs.metrics import REGISTRY as _METRICS
@@ -91,6 +101,7 @@ class ArtifactCache:
         self._lock = threading.Lock()
         self._pid = os.getpid()
         self._stats_token: Optional[str] = None
+        self._armed_faults: List[Dict[str, Any]] = []
         self.stats: Dict[str, int] = {k: 0 for k in _STAT_KEYS}
 
     # -- tier plumbing -------------------------------------------------
@@ -139,6 +150,46 @@ class ArtifactCache:
             )
         self._bump(stat, amount)
 
+    # -- fault injection -----------------------------------------------
+
+    def inject_read_fault(
+        self,
+        kind: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        reason: str = "injected-corruption",
+        count: int = 1,
+    ) -> None:
+        """Arm ``count`` deterministic read faults.
+
+        The next ``count`` :meth:`get` calls matching ``kind`` /
+        ``fingerprint`` (``None`` matches anything) behave exactly
+        like a corrupt on-disk entry: the lookup degrades to a miss
+        with a :class:`CacheError` warning, ``dse.cache.corrupt`` is
+        counted, the memory-tier entry is dropped, and any disk file
+        is quarantined.  This is the chaos hook the serving fault
+        plane uses; because arming is explicit and consumption is
+        in-order, injected corruption is fully replayable.
+        """
+        with self._lock:
+            self._armed_faults.append(
+                {"kind": kind, "fingerprint": fingerprint,
+                 "reason": reason, "count": int(count)}
+            )
+
+    def _consume_fault(self, kind: str, fingerprint: str) -> Optional[str]:
+        """Pop one matching armed fault; its reason, or ``None``."""
+        with self._lock:
+            for fault in self._armed_faults:
+                if fault["kind"] not in (None, kind):
+                    continue
+                if fault["fingerprint"] not in (None, fingerprint):
+                    continue
+                fault["count"] -= 1
+                if fault["count"] <= 0:
+                    self._armed_faults.remove(fault)
+                return str(fault["reason"])
+        return None
+
     # -- read/write ----------------------------------------------------
 
     def get(self, kind: str, fingerprint: str) -> Optional[Any]:
@@ -148,6 +199,16 @@ class ArtifactCache:
         disk entry is treated as a miss after a :class:`CacheError`
         warning and a ``dse.cache.corrupt`` count — never an exception.
         """
+        if self._armed_faults:
+            reason = self._consume_fault(kind, fingerprint)
+            if reason is not None:
+                with self._lock:
+                    self._memory.pop((kind, fingerprint), None)
+                path = self.entry_path(kind, fingerprint)
+                self._corrupt(path or f"<memory:{kind}/{fingerprint}>",
+                              reason)
+                self._bump("misses")
+                return None
         with self._lock:
             payload = self._memory.get((kind, fingerprint))
         if payload is not None:
@@ -184,14 +245,42 @@ class ArtifactCache:
 
     def _corrupt(self, path: str, reason: str) -> None:
         self._bump("corrupt")
+        quarantined = self._quarantine(path)
+        message = "discarding untrusted cache entry (treated as a miss)"
+        if quarantined is not None:
+            message += f"; quarantined to {quarantined}"
         warnings.warn(
-            CacheError(
-                "discarding untrusted cache entry (treated as a miss)",
-                path=path,
-                reason=reason,
-            ),
+            CacheError(message, path=path, reason=reason),
             stacklevel=4,
         )
+
+    def _quarantine(self, path: str) -> Optional[str]:
+        """Move a bad entry to ``<root>/quarantine/`` (best effort).
+
+        Quarantining is what keeps corruption a *one-time* incident:
+        the next lookup sees a clean miss (no file, no re-parse, no
+        repeat warning) and the recompute's ``put`` writes a fresh
+        entry at the original address.  Returns the destination, or
+        ``None`` when there was nothing on disk to move.
+        """
+        root = self.root
+        if not root or not path:
+            return None
+        try:
+            if not os.path.isfile(path):
+                return None
+            quarantine_dir = os.path.join(root, "quarantine")
+            os.makedirs(quarantine_dir, exist_ok=True)
+            base = os.path.basename(path)
+            dest = os.path.join(quarantine_dir, base)
+            suffix = 1
+            while os.path.exists(dest):
+                dest = os.path.join(quarantine_dir, f"{base}.{suffix}")
+                suffix += 1
+            os.replace(path, dest)
+            return dest
+        except OSError:
+            return None  # an unmovable file must not fail the lookup
 
     def put(
         self,

@@ -34,6 +34,7 @@ from repro.experiments.common import (
     evaluate_workload,
 )
 from repro.fhe.params import CKKSParams, parameter_set
+from repro.resilience.backoff import DEFAULT_BACKOFF, BackoffPolicy
 from repro.resilience.errors import ConfigError
 from repro.resilience.isolation import CellStatus, run_isolated, classify_error
 
@@ -240,7 +241,23 @@ class SweepReport:
         return "\n".join(lines)
 
 
-def _task_worker(point: DesignPoint, workload: str, params: CKKSParams) -> str:
+def _maybe_crash(task_id: str) -> None:
+    """Fault-injection hook: hard-kill the worker for the named tasks.
+
+    ``REPRO_SWEEP_CRASH`` holds comma-separated task ids; a matching
+    worker dies via ``os._exit`` *before* evaluating — the same
+    signature as an OOM kill mid-cell.  Used by the crash-recovery
+    tests and chaos drills; clearing the variable lets a resumed sweep
+    complete normally.
+    """
+    forced = os.environ.get("REPRO_SWEEP_CRASH", "")
+    if task_id in {c.strip() for c in forced.split(",") if c.strip()}:
+        os._exit(41)
+
+
+def _task_worker(
+    task_id: str, point: DesignPoint, workload: str, params: CKKSParams
+) -> str:
     """Isolated task body: evaluate and return the result document.
 
     Returns a JSON string because :func:`run_isolated` ships text over
@@ -248,6 +265,7 @@ def _task_worker(point: DesignPoint, workload: str, params: CKKSParams) -> str:
     """
     from repro.sched.serialize import eval_result_to_doc
 
+    _maybe_crash(task_id)
     result = evaluate_workload(
         point, workload, params, scheduler_config=default_scheduler_config()
     )
@@ -280,6 +298,7 @@ def run_sweep(
     retries: int = 1,
     isolated: bool = True,
     sched_jobs: Optional[int] = None,
+    backoff: Optional[BackoffPolicy] = DEFAULT_BACKOFF,
 ) -> SweepReport:
     """Execute a sweep across a deterministic worker pool.
 
@@ -290,7 +309,10 @@ def run_sweep(
     report carries the hit/miss delta this sweep produced there.
     ``sched_jobs`` threads each DP frontier's pricing *inside* every
     worker (``REPRO_SCHED_JOBS``); schedules — and therefore artifacts
-    — are byte-identical at any value.
+    — are byte-identical at any value.  Transient worker failures
+    (crashes, timeouts) are retried after a ``backoff`` delay with
+    jitter seeded from the task id, so a shard of workers tripping
+    over the same shared resource does not retry in lockstep.
     """
     if jobs < 1:
         raise ConfigError("jobs", jobs, "need at least one worker")
@@ -325,12 +347,14 @@ def run_sweep(
         if isolated:
             status = run_isolated(
                 task.task_id, _task_worker,
-                args=(task.point, task.workload, task.params),
-                timeout=timeout, retries=retries,
+                args=(task.task_id, task.point, task.workload, task.params),
+                timeout=timeout, retries=retries, backoff=backoff,
             )
         else:
             try:
-                output = _task_worker(task.point, task.workload, task.params)
+                output = _task_worker(
+                    task.task_id, task.point, task.workload, task.params
+                )
                 status = CellStatus(
                     name=task.task_id, status="ok", output=output
                 )

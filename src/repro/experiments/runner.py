@@ -54,7 +54,10 @@ Observability (:mod:`repro.obs`):
   raw simulator trace (``*.trace.jsonl``) plus its Perfetto rendering
   (``*.sim.perfetto.json``, opens at https://ui.perfetto.dev).
   Artifacts are written in the cell's (sub)process, also when the cell
-  fails, so a crashed cell still leaves its telemetry behind;
+  fails, so a crashed cell still leaves its telemetry behind; a cell
+  killed by ``--timeout`` flushes on SIGTERM — open spans are closed
+  (tagged ``interrupted=True``) and dumped during the termination
+  grace period, so traces from killed cells stay well-formed;
 * ``--metrics-json PATH`` writes the *runner's own* metrics document
   after the run: ``runner.cell_seconds.<cell>`` gauges,
   ``runner.exit.<status>`` counters, and ``runner.verify_seconds``.
@@ -115,6 +118,26 @@ def _maybe_force_fail(name: str) -> None:
         raise SimulationError(
             f"cell {name!r} forced to fail via REPRO_FORCE_FAIL"
         )
+    _maybe_force_sleep(name)
+
+
+def _maybe_force_sleep(name: str) -> None:
+    """Test hook: ``REPRO_FORCE_SLEEP="cell:seconds"`` stalls a cell.
+
+    The stall happens *inside an open span*, which is exactly the state
+    a real runaway search is in when ``--timeout`` kills it — used to
+    exercise the kill-path telemetry flush end-to-end.
+    """
+    spec = os.environ.get("REPRO_FORCE_SLEEP", "")
+    if not spec:
+        return
+    cell, _, seconds = spec.partition(":")
+    if cell.strip() != name:
+        return
+    from repro import obs
+
+    with obs.span("runner.force_sleep", cell=name):
+        time.sleep(float(seconds or 30.0))
 
 
 def run_table1(quick: bool = False) -> str:
@@ -199,15 +222,35 @@ def _observed_cell(name, fn, trace_dir, quick=False):
     Module-level (used via :func:`functools.partial`) so the callable
     pickles under both the fork and spawn multiprocessing contexts.
     Artifacts are flushed in a ``finally`` so a failing cell still
-    leaves its spans/metrics/trace behind for postmortem.
+    leaves its spans/metrics/trace behind for postmortem — and a
+    SIGTERM handler covers the ``--timeout`` kill path: the isolation
+    runner terminates with SIGTERM and grants a grace period, during
+    which open spans are force-closed and the artifacts dumped, so
+    Perfetto traces from timed-out cells are well-formed too.
     """
+    import signal
+
     from repro import obs
 
     obs.reset()
     obs.enable(events=True)
+
+    def _flush_and_exit(signum, frame):
+        try:
+            obs.dump_cell_artifacts(name, trace_dir)
+        finally:
+            os._exit(124)
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _flush_and_exit)
+    except ValueError:  # pragma: no cover - non-main-thread caller
+        pass
     try:
         return fn(quick=quick)
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         try:
             obs.dump_cell_artifacts(name, trace_dir)
         finally:

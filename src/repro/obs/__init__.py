@@ -88,6 +88,10 @@ def dump_cell_artifacts(name: str, directory: str) -> Dict[str, str]:
     ``<name>.spans.txt``, ``<name>.spans.perfetto.json``, and — when
     the event sink holds runs — ``<name>.trace.jsonl`` plus
     ``<name>.sim.perfetto.json``.  Returns ``{artifact: path}``.
+
+    Open spans are force-closed first (tagged ``interrupted=True``),
+    so artifacts dumped from a timed-out or dying cell are still
+    well-formed Perfetto/JSON documents.
     """
     import os
 
@@ -108,6 +112,7 @@ def dump_cell_artifacts(name: str, directory: str) -> Dict[str, str]:
         out[suffix] = p
         return p
 
+    TRACER.flush_open()
     roots = TRACER.snapshot_roots()
     write_json(metrics_document(REGISTRY.snapshot()), path_of("metrics.json"))
     write_json(spans_to_json(roots), path_of("spans.json"))

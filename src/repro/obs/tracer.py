@@ -115,6 +115,8 @@ class Tracer:
         self.roots: List[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Every thread's open-span stack, for :meth:`flush_open`.
+        self._stacks: Dict[int, List[Span]] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -138,7 +140,39 @@ class Tracer:
         if stack is None:
             stack = []
             self._local.stack = stack
+            with self._lock:
+                self._stacks[threading.get_ident()] = stack
         return stack
+
+    def flush_open(self) -> int:
+        """Force-close every open span on every thread.
+
+        The crash/timeout path: when a cell is killed mid-execution
+        (SIGTERM from the isolation runner's ``--timeout``), its open
+        spans would otherwise be lost and the exported trace would be
+        truncated mid-tree.  Each open span is closed at the current
+        time, tagged ``interrupted=True``, attached to its parent, and
+        the roots are appended to :attr:`roots` — so exporters always
+        see well-formed finished trees.  Returns the number of spans
+        closed; 0 in the normal all-closed case (safe to call always).
+        """
+        now = time.perf_counter()
+        closed = 0
+        with self._lock:
+            stacks = list(self._stacks.values())
+        for stack in stacks:
+            while stack:
+                sp = stack.pop()
+                if sp.end is None:
+                    sp.end = now
+                    sp.attrs["interrupted"] = True
+                    closed += 1
+                if stack:
+                    stack[-1].children.append(sp)
+                else:
+                    with self._lock:
+                        self.roots.append(sp)
+        return closed
 
     def span(self, name: str, **attrs: Any):
         """Open a span (returns the no-op handle when disabled)."""

@@ -10,12 +10,15 @@ experiment cells run crash-isolated with per-cell status reporting.
 Public surface:
 
 * :mod:`repro.resilience.errors` — the ``ReproError`` hierarchy.
+* :mod:`repro.resilience.backoff` — shared retry-delay policy with
+  deterministic seeded jitter, plus clock-agnostic deadlines.
 * :mod:`repro.resilience.budget` — ``SearchBudget`` / ``BudgetMeter``.
 * :mod:`repro.resilience.checkpoint` — resumable DP search covers.
 * :mod:`repro.resilience.isolation` — crash-isolated cell execution
   and the resumable experiment artifact.
 """
 
+from repro.resilience.backoff import DEFAULT_BACKOFF, BackoffPolicy, Deadline
 from repro.resilience.budget import BudgetMeter, SearchBudget
 from repro.resilience.checkpoint import SearchCheckpoint
 from repro.resilience.errors import (
@@ -41,6 +44,9 @@ __all__ = [
     "SearchBudgetExceeded",
     "SimulationError",
     "VerificationError",
+    "BackoffPolicy",
+    "DEFAULT_BACKOFF",
+    "Deadline",
     "SearchBudget",
     "BudgetMeter",
     "SearchCheckpoint",

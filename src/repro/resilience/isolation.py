@@ -6,7 +6,11 @@ unbounded search) in one cell cannot take down the rest of the run.
 :func:`run_isolated` adds a per-cell wall-clock timeout and a single
 retry for *transient* failures (timeouts, unclassified exceptions);
 structured :class:`~repro.resilience.errors.ReproError` failures are
-deterministic and are not retried.
+deterministic and are not retried.  Transient retries wait out an
+exponential backoff with deterministic seeded jitter
+(:class:`~repro.resilience.backoff.BackoffPolicy`) so co-scheduled
+workers hitting the same shared-resource failure do not retry in
+lockstep.
 
 :class:`RunArtifact` is the resumable JSON record: one entry per cell,
 rewritten atomically after every cell so an interrupted run can be
@@ -24,6 +28,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.resilience.backoff import DEFAULT_BACKOFF, BackoffPolicy
 from repro.resilience.errors import (
     ConfigError,
     InfeasibleScheduleError,
@@ -129,6 +134,7 @@ def run_isolated(
     kwargs: Optional[Dict[str, Any]] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    backoff: Optional[BackoffPolicy] = DEFAULT_BACKOFF,
 ) -> CellStatus:
     """Run ``fn`` in a subprocess with a timeout and transient retry.
 
@@ -136,7 +142,10 @@ def run_isolated(
     function must return the cell's rendered text. Transient outcomes
     (timeout, subprocess crash, unclassified exception) are retried up
     to ``retries`` extra times; structured ``ReproError`` failures are
-    deterministic and fail immediately.
+    deterministic and fail immediately.  Between transient attempts
+    the caller sleeps out ``backoff`` (jitter seeded from ``name``, so
+    a given cell's delay sequence is reproducible); pass ``None`` to
+    retry immediately.
     """
     ctx = _mp_context()
     kwargs = kwargs or {}
@@ -144,6 +153,8 @@ def run_isolated(
     attempts = 0
     last: Optional[CellStatus] = None
     while attempts <= retries:
+        if attempts and backoff is not None:
+            time.sleep(backoff.delay(attempts, token=name))
         attempts += 1
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(

@@ -1,0 +1,181 @@
+"""Command-line interface for the serving simulator.
+
+::
+
+    python -m repro.serve run  --quick --faults quick --seed 7
+    python -m repro.serve run  --requests 500 --nodes 8 \\
+        --faults aggressive --summary-json out/summary.json
+    python -m repro.serve plan --faults aggressive --seed 7 --nodes 4
+
+``run`` exits 0 iff every request reached a terminal outcome
+(``lost == 0``); ``plan`` prints the fault schedule a seed would
+produce without running anything — chaos you can read before you
+unleash it.  With ``--summary-json``, two runs with the same
+arguments write byte-identical files; CI diffs them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import obs
+from repro.obs.metrics import REGISTRY
+from repro.resilience.errors import ReproError
+from repro.serve.faults import FAULT_PRESETS, FaultPlan
+from repro.serve.fleet import FleetSpec, TableOracle
+from repro.serve.loadgen import LoadSpec
+from repro.serve.policies import ServePolicies
+from repro.serve.sim import ServeSimulator, ServeSummary
+
+EXIT_OK = 0
+EXIT_LOST = 1
+EXIT_CONFIG = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="fault-tolerant fleet serving simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0,
+                       help="master seed (load + faults)")
+        p.add_argument("--requests", type=int, default=200,
+                       help="total requests to submit")
+        p.add_argument("--horizon", type=float, default=2.0,
+                       help="arrival window in simulated seconds")
+        p.add_argument("--nodes", type=int, default=4,
+                       help="accelerators in the fleet")
+        p.add_argument("--faults", default="none",
+                       choices=sorted(FAULT_PRESETS),
+                       help="fault-plan preset intensity")
+
+    run = sub.add_parser("run", help="run one serving scenario")
+    common(run)
+    run.add_argument("--quick", action="store_true",
+                     help="the CI quick scenario (200 requests, "
+                          "4 nodes, 2s horizon)")
+    run.add_argument("--summary-json", default=None,
+                     help="write the byte-stable run summary here")
+    run.add_argument("--metrics-json", default=None,
+                     help="write the repro.obs metrics snapshot here")
+    run.add_argument("--no-hedge", action="store_true",
+                     help="disable speculative duplicates")
+
+    plan = sub.add_parser("plan", help="print a seed's fault schedule")
+    common(plan)
+    return parser
+
+
+def _scenario(args: argparse.Namespace):
+    if getattr(args, "quick", False):
+        args.requests, args.nodes, args.horizon = 200, 4, 2.0
+    load = LoadSpec(requests=args.requests, horizon=args.horizon)
+    fleet = FleetSpec(nodes=args.nodes)
+    node_names = [n.name for n in fleet.build()]
+    plan = FaultPlan.preset(
+        args.faults, seed=args.seed, horizon=args.horizon,
+        nodes=node_names, workloads=tuple(load.workloads()),
+    )
+    return load, fleet, plan
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    load, fleet, plan = _scenario(args)
+    policies = ServePolicies()
+    if args.no_hedge:
+        from dataclasses import replace
+
+        policies = ServePolicies(
+            retry=policies.retry,
+            hedge=replace(policies.hedge, enabled=False),
+            admission=policies.admission,
+            batching=policies.batching,
+            health=policies.health,
+        )
+    REGISTRY.enable()
+    obs.enable()
+    sim = ServeSimulator(
+        load=load, fleet_spec=fleet, policies=policies,
+        plan=plan, oracle=TableOracle(), seed=args.seed,
+    )
+    summary = sim.run()
+    _report(summary)
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            fh.write(summary.to_json())
+        print(f"summary: {args.summary_json}")
+    if args.metrics_json:
+        snap = REGISTRY.snapshot()
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"metrics: {args.metrics_json}")
+    return EXIT_OK if summary.lost == 0 else EXIT_LOST
+
+
+def _report(summary: ServeSummary) -> None:
+    doc = summary.to_doc()
+    totals, lat, rec = (
+        doc["totals"], doc["latency_ms"], doc["recovery"]
+    )
+    print(
+        f"serve: {totals['requests']} requests -> "
+        f"{totals['ok']} ok, {totals['shed']} shed, "
+        f"{totals['failed']} failed, {totals['lost']} lost"
+    )
+    print(
+        f"latency_ms: p50={lat['p50']:.3f} p95={lat['p95']:.3f} "
+        f"p99={lat['p99']:.3f} max={lat['max']:.3f}"
+    )
+    print(
+        f"recovery: retries={rec['retries']} hedges={rec['hedges']} "
+        f"(won {rec['hedge_wins']}) evictions={rec['evictions']} "
+        f"rejoins={rec['rejoins']} shed_peak_depth="
+        f"{rec['queue_depth_peak']}"
+    )
+    if rec["faults_fired"]:
+        fired = ", ".join(
+            f"{k}={v}" for k, v in rec["faults_fired"].items()
+        )
+        print(f"faults fired: {fired}")
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    _, _, plan = _scenario(args)
+    if not plan.events:
+        print("(empty plan)")
+        return EXIT_OK
+    for event in plan.events:
+        line = f"t={event.at:8.4f}s  {event.kind:<13}"
+        if event.node:
+            line += f" node={event.node}"
+        if event.duration:
+            line += f" duration={event.duration:.4f}s"
+        if event.kind == "straggler":
+            line += f" factor={event.factor:.2f}x"
+        if event.workload:
+            line += f" workload={event.workload}"
+        print(line)
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_plan(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+
+
+if __name__ == "__main__":
+    sys.exit(main())

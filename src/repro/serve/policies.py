@@ -1,0 +1,205 @@
+"""Serving policies: retry, hedging, admission, batching, health.
+
+Every knob that shapes how the fleet answers faults and load lives
+here as a frozen dataclass, so a whole serving configuration is one
+immutable :class:`ServePolicies` value that embeds into the run
+summary (``as_doc``) — two runs with the same policies and seed are
+the same run.
+
+The retry policy prices its delays through the shared
+:class:`repro.resilience.backoff.BackoffPolicy` — the same primitive
+the crash-isolated experiment runner sleeps on, but here the delays
+are *simulated* seconds on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.errors import ConfigError
+
+__all__ = [
+    "AdmissionPolicy",
+    "BatchingPolicy",
+    "HealthPolicy",
+    "HedgePolicy",
+    "RetryPolicy",
+    "ServePolicies",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request retry with exponential backoff + seeded jitter.
+
+    ``max_attempts`` counts every dispatch including the first; a
+    request whose last attempt fails gets a terminal ``failed``
+    outcome — bounded work, never an infinite retry loop.
+    """
+
+    max_attempts: int = 4
+    backoff: BackoffPolicy = field(default_factory=lambda: BackoffPolicy(
+        base=0.01, multiplier=2.0, max_delay=0.5, jitter=0.5,
+    ))
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                "max_attempts", self.max_attempts, "must be >= 1"
+            )
+
+    def delay(self, attempt: int, token: str) -> float:
+        """Simulated-seconds delay before retry ``attempt`` (1-based),
+        jitter-seeded by the request id so every retry sequence is
+        replayable."""
+        return self.backoff.delay(attempt, token=token)
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff": {
+                "base": self.backoff.base,
+                "multiplier": self.backoff.multiplier,
+                "max_delay": self.backoff.max_delay,
+                "jitter": self.backoff.jitter,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Speculative duplicates for straggling requests.
+
+    A request still in flight ``trigger_factor`` times longer than its
+    *expected* service time gets one duplicate dispatched to a
+    different node; the first completion wins and the loser's work is
+    wasted (counted, not refunded — hedging trades throughput for tail
+    latency, and the simulator models that honestly).
+    """
+
+    enabled: bool = True
+    trigger_factor: float = 2.0
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trigger_factor <= 1.0:
+            raise ConfigError(
+                "trigger_factor", self.trigger_factor,
+                "must be > 1 (hedging at or below expected latency "
+                "duplicates every request)",
+            )
+        if self.max_hedges < 0:
+            raise ConfigError(
+                "max_hedges", self.max_hedges, "must be >= 0"
+            )
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {
+            "enabled": self.enabled,
+            "trigger_factor": self.trigger_factor,
+            "max_hedges": self.max_hedges,
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue-depth admission control (overload shedding)."""
+
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                "max_queue_depth", self.max_queue_depth, "must be >= 1"
+            )
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {"max_queue_depth": self.max_queue_depth}
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """How compatible requests group into one dispatch.
+
+    ``cost_factor`` models the sub-linear growth of batched FHE
+    evaluation (shared evk fetches and pipelined groups amortize): a
+    batch of *k* costs ``1 + cost_factor * (k - 1)`` single-request
+    service times.
+    """
+
+    window: float = 0.005
+    max_batch: int = 8
+    cost_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ConfigError("window", self.window, "must be >= 0")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch", self.max_batch, "must be >= 1")
+        if not 0.0 <= self.cost_factor <= 1.0:
+            raise ConfigError(
+                "cost_factor", self.cost_factor, "must be in [0, 1]"
+            )
+
+    def batch_seconds(self, single_seconds: float, size: int) -> float:
+        """Service time of a batch of ``size`` requests."""
+        return single_seconds * (1.0 + self.cost_factor * (size - 1))
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {
+            "window": self.window,
+            "max_batch": self.max_batch,
+            "cost_factor": self.cost_factor,
+        }
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Failure detection: periodic checks, eviction, rejoin."""
+
+    check_interval: float = 0.05
+    evict_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ConfigError(
+                "check_interval", self.check_interval, "must be > 0"
+            )
+        if self.evict_after < 1:
+            raise ConfigError(
+                "evict_after", self.evict_after, "must be >= 1"
+            )
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {
+            "check_interval": self.check_interval,
+            "evict_after": self.evict_after,
+        }
+
+
+@dataclass(frozen=True)
+class ServePolicies:
+    """The full policy bundle one simulation runs under."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    hedge: HedgePolicy = field(default_factory=HedgePolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    batching: BatchingPolicy = field(default_factory=BatchingPolicy)
+    health: HealthPolicy = field(default_factory=HealthPolicy)
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {
+            "retry": self.retry.as_doc(),
+            "hedge": self.hedge.as_doc(),
+            "admission": self.admission.as_doc(),
+            "batching": self.batching.as_doc(),
+            "health": self.health.as_doc(),
+        }

@@ -154,3 +154,77 @@ class TestResumeAndFailure:
         artifact = SweepArtifact.load(str(path))
         assert artifact.tasks == {}
         assert not artifact.completed("anything")
+
+
+class TestCrashRecovery:
+    """Satellite contract: kill a worker mid-cell, resume, and the
+    final artifact is byte-identical to an uninterrupted run's."""
+
+    def test_injected_crash_recorded_not_raised(
+        self, cold_run, tmp_path, monkeypatch
+    ):
+        _, cache, _, _ = cold_run
+        crashed_path = str(tmp_path / "crashed.json")
+        monkeypatch.setenv("REPRO_SWEEP_CRASH", "CROPHE-36/bootstrapping")
+        report = run_sweep(
+            _spec(), cache_dir=cache, artifact_path=crashed_path,
+            retries=0,
+        )
+        assert not report.ok
+        entry = SweepArtifact.load(crashed_path).tasks[
+            "CROPHE-36/bootstrapping"
+        ]
+        assert entry["status"] == "failed"
+        assert entry["error_kind"] == "crash"
+        assert "exit code 41" in entry["error"]
+        # The surviving task completed normally around the corpse.
+        other = SweepArtifact.load(crashed_path).tasks[
+            "MAD-36/bootstrapping"
+        ]
+        assert other["status"] == "ok"
+
+    def test_resume_after_crash_byte_identical(
+        self, cold_run, tmp_path, monkeypatch
+    ):
+        base, cache, _, _ = cold_run
+        crashed_path = str(tmp_path / "crashed.json")
+        monkeypatch.setenv("REPRO_SWEEP_CRASH", "CROPHE-36/bootstrapping")
+        assert not run_sweep(
+            _spec(), cache_dir=cache, artifact_path=crashed_path,
+            retries=0,
+        ).ok
+        # The fault clears (the "machine" came back); resume re-runs
+        # only the crashed task and must converge to the exact bytes
+        # an uninterrupted sweep produced.
+        monkeypatch.delenv("REPRO_SWEEP_CRASH")
+        resumed = run_sweep(
+            _spec(), cache_dir=cache, artifact_path=crashed_path,
+            resume=True,
+        )
+        assert resumed.ok
+        assert resumed.skipped == 1  # the task that survived the crash
+        import pathlib
+
+        assert (
+            pathlib.Path(crashed_path).read_bytes()
+            == (base / "jobs1.json").read_bytes()
+        )
+
+    def test_default_retry_absorbs_crash_in_one_run(
+        self, cold_run, tmp_path, monkeypatch
+    ):
+        # With retries enabled the crash is transient: the retried
+        # fork doesn't crash again only if the env var is gone, so
+        # scope the injection to attempt one via a marker file.
+        _, cache, _, _ = cold_run
+        # REPRO_SWEEP_CRASH crashes *every* attempt; a retry under the
+        # same environment must therefore report the crash, proving
+        # retries re-fork rather than reuse the dead worker.
+        monkeypatch.setenv("REPRO_SWEEP_CRASH", "CROPHE-36/bootstrapping")
+        report = run_sweep(
+            _spec(), cache_dir=cache,
+            artifact_path=str(tmp_path / "c.json"), retries=1,
+        )
+        status = report.statuses["CROPHE-36/bootstrapping"]
+        assert status.status == "failed"
+        assert status.attempts == 2

@@ -202,3 +202,51 @@ class TestMain:
         loaded = RunArtifact.load(path)
         assert loaded.completed("table1")
         assert loaded.cells["table1"].output.strip()
+
+
+class TestTimeoutTelemetryFlush:
+    """Satellite contract: a cell killed by ``--timeout`` still leaves
+    well-formed span artifacts — open spans are force-closed on the
+    SIGTERM grace path and tagged ``interrupted``."""
+
+    def _spans_of(self, trace_dir):
+        with open(os.path.join(trace_dir, "table1.spans.json")) as fh:
+            return json.load(fh)  # must parse: well-formed or bust
+
+    def test_timed_out_cell_flushes_spans(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FORCE_SLEEP", "table1:30")
+        trace_dir = str(tmp_path / "traces")
+        code = runner.main([
+            "table1", "--artifact", str(tmp_path / "art.json"),
+            "--timeout", "1.5", "--retries", "0",
+            "--trace-dir", trace_dir,
+        ])
+        assert code == runner.EXIT_OTHER  # the cell timed out
+
+        doc = self._spans_of(trace_dir)
+        rendered = json.dumps(doc)
+        # The stalled span was open when SIGTERM arrived: it must be
+        # present, closed, and tagged as interrupted.
+        assert "runner.force_sleep" in rendered
+        assert '"interrupted": true' in rendered
+
+        # The Perfetto export from the dying cell parses too.
+        with open(
+            os.path.join(trace_dir, "table1.spans.perfetto.json")
+        ) as fh:
+            perfetto = json.load(fh)
+        assert perfetto["traceEvents"]
+
+    def test_healthy_cell_spans_not_interrupted(
+        self, tmp_path, capsys
+    ):
+        trace_dir = str(tmp_path / "traces")
+        code = runner.main([
+            "table1", "--artifact", str(tmp_path / "art.json"),
+            "--trace-dir", trace_dir,
+        ])
+        assert code == runner.EXIT_OK
+        rendered = json.dumps(self._spans_of(trace_dir))
+        assert '"interrupted": true' not in rendered

@@ -1,0 +1,94 @@
+"""The fault plane: seeded determinism and the plan document."""
+
+import pytest
+
+from repro.resilience.errors import ConfigError
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FAULT_PRESETS,
+    FaultEvent,
+    FaultPlan,
+)
+
+NODES = ("acc0", "acc1", "acc2", "acc3")
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(at=1.0, kind="meteor")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(at=-0.1, kind="crash")
+
+    def test_doc_round_trip(self):
+        event = FaultEvent(
+            at=0.5, kind="straggler", node="acc1",
+            duration=0.25, factor=3.5,
+        )
+        assert FaultEvent.from_doc(event.as_doc()) == event
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan((
+            FaultEvent(at=2.0, kind="crash", node="acc0"),
+            FaultEvent(at=1.0, kind="transient", node="acc1"),
+        ))
+        assert [e.at for e in plan.events] == [1.0, 2.0]
+
+    def test_same_seed_identical_plan(self):
+        a = FaultPlan.generate(seed=7, horizon=2.0, nodes=NODES)
+        b = FaultPlan.generate(seed=7, horizon=2.0, nodes=NODES)
+        assert a == b
+        assert a.as_doc() == b.as_doc()
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.generate(seed=7, horizon=2.0, nodes=NODES)
+        b = FaultPlan.generate(seed=8, horizon=2.0, nodes=NODES)
+        assert a != b
+
+    def test_doc_round_trip(self):
+        # as_doc rounds to 9 decimals, so the *document* is the stable
+        # fixed point, not the float-exact plan.
+        plan = FaultPlan.generate(
+            seed=3, horizon=2.0, nodes=NODES, cache_corruptions=1,
+        )
+        doc = plan.as_doc()
+        assert FaultPlan.from_doc(doc).as_doc() == doc
+
+    def test_times_inside_horizon_window(self):
+        plan = FaultPlan.generate(
+            seed=5, horizon=10.0, nodes=NODES,
+            crashes=5, stragglers=5, transients=5,
+        )
+        for event in plan.events:
+            assert 1.0 <= event.at <= 8.0  # 10%..80% of the horizon
+
+    def test_presets_cover_declared_counts(self):
+        plan = FaultPlan.preset(
+            "aggressive", seed=1, horizon=2.0, nodes=NODES,
+        )
+        crashes, stragglers, transients, corrupt = (
+            FAULT_PRESETS["aggressive"]
+        )
+        assert len(plan.for_kind("crash")) == crashes
+        assert len(plan.for_kind("straggler")) == stragglers
+        assert len(plan.for_kind("transient")) == transients
+        assert len(plan.for_kind("cache_corrupt")) == corrupt
+
+    def test_none_preset_is_empty(self):
+        plan = FaultPlan.preset("none", seed=1, horizon=2.0, nodes=NODES)
+        assert len(plan) == 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.preset("apocalypse", seed=1, horizon=2.0,
+                             nodes=NODES)
+
+    def test_every_generated_kind_is_known(self):
+        plan = FaultPlan.generate(
+            seed=2, horizon=2.0, nodes=NODES, cache_corruptions=2,
+        )
+        assert all(e.kind in FAULT_KINDS for e in plan.events)

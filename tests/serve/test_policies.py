@@ -1,0 +1,73 @@
+"""Policy validation, batched cost model, and deterministic delays."""
+
+import pytest
+
+from repro.resilience.errors import ConfigError
+from repro.serve.policies import (
+    AdmissionPolicy,
+    BatchingPolicy,
+    HealthPolicy,
+    HedgePolicy,
+    RetryPolicy,
+    ServePolicies,
+)
+
+
+class TestValidation:
+    def test_retry_needs_an_attempt(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+
+    def test_hedge_trigger_above_one(self):
+        with pytest.raises(ConfigError):
+            HedgePolicy(trigger_factor=1.0)
+
+    def test_admission_depth_positive(self):
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(max_queue_depth=0)
+
+    def test_batching_cost_factor_bounded(self):
+        with pytest.raises(ConfigError):
+            BatchingPolicy(cost_factor=1.5)
+
+    def test_health_interval_positive(self):
+        with pytest.raises(ConfigError):
+            HealthPolicy(check_interval=0.0)
+
+
+class TestBatchCost:
+    def test_single_request_costs_one(self):
+        assert BatchingPolicy().batch_seconds(0.1, 1) == pytest.approx(0.1)
+
+    def test_batching_is_sublinear(self):
+        policy = BatchingPolicy(cost_factor=0.6)
+        eight = policy.batch_seconds(0.1, 8)
+        assert eight < 8 * 0.1
+        assert eight == pytest.approx(0.1 * (1 + 0.6 * 7))
+
+
+class TestRetryDelay:
+    def test_same_token_same_delay(self):
+        policy = RetryPolicy()
+        assert policy.delay(1, "r000001") == policy.delay(1, "r000001")
+
+    def test_delay_grows_with_attempt(self):
+        policy = RetryPolicy()
+        # Raw (pre-jitter) growth is exponential; jittered delays from
+        # the same token still grow because jitter is bounded by half.
+        d1 = policy.delay(1, "r000001")
+        d3 = policy.delay(3, "r000001")
+        assert d3 > d1
+
+    def test_tokens_decorrelate_delays(self):
+        policy = RetryPolicy()
+        delays = {policy.delay(1, f"r{i:06d}") for i in range(16)}
+        assert len(delays) > 1
+
+
+class TestBundle:
+    def test_doc_has_every_policy(self):
+        doc = ServePolicies().as_doc()
+        assert set(doc) == {
+            "retry", "hedge", "admission", "batching", "health",
+        }

@@ -1,0 +1,223 @@
+"""End-to-end serving scenarios: chaos determinism and recovery.
+
+The acceptance scenario from the issue: >= 200 requests on 4
+accelerators through one crash and two stragglers (the ``quick``
+preset) must complete with **zero lost requests**, non-zero retries,
+and a byte-identical summary when replayed under the same seed.
+"""
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.serve import (
+    FaultEvent,
+    FaultPlan,
+    FleetSpec,
+    LoadSpec,
+    ServeSimulator,
+    TableOracle,
+    TenantSpec,
+)
+from repro.serve.policies import (
+    AdmissionPolicy,
+    BatchingPolicy,
+    HealthPolicy,
+    HedgePolicy,
+    RetryPolicy,
+    ServePolicies,
+)
+
+QUICK_LOAD = LoadSpec(requests=200, horizon=2.0)
+QUICK_FLEET = FleetSpec(nodes=4)
+
+
+def _quick_plan(seed=7):
+    return FaultPlan.preset(
+        "quick", seed=seed, horizon=QUICK_LOAD.horizon,
+        nodes=[n.name for n in QUICK_FLEET.build()],
+        workloads=tuple(QUICK_LOAD.workloads()),
+    )
+
+
+def _run(seed=7, plan=None, **kwargs):
+    sim = ServeSimulator(
+        QUICK_LOAD, QUICK_FLEET, plan=plan, seed=seed, **kwargs
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def quick_summary():
+    """The acceptance scenario, run once and shared module-wide."""
+    return _run(plan=_quick_plan())
+
+
+class TestQuickScenario:
+    def test_zero_lost_requests(self, quick_summary):
+        assert quick_summary.lost == 0
+        assert len(quick_summary.outcomes) == 200
+
+    def test_crash_forced_retries(self, quick_summary):
+        assert quick_summary.retries > 0
+
+    def test_crash_detected_and_node_recovered(self, quick_summary):
+        assert quick_summary.evictions >= 1
+        assert quick_summary.rejoins >= 1
+
+    def test_faults_actually_fired(self, quick_summary):
+        fired = quick_summary.faults_fired
+        assert fired.get("crash") == 1
+        assert fired.get("straggler") == 2
+
+    def test_summary_reports_percentiles(self, quick_summary):
+        lat = quick_summary.to_doc()["latency_ms"]
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+    def test_every_outcome_is_terminal(self, quick_summary):
+        for outcome in quick_summary.outcomes.values():
+            assert outcome.status in ("ok", "shed", "failed")
+            assert outcome.attempts >= 1 or outcome.status == "shed"
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_summary(self, quick_summary):
+        replay = _run(plan=_quick_plan())
+        assert replay.to_json() == quick_summary.to_json()
+
+    def test_different_seed_differs(self, quick_summary):
+        other = ServeSimulator(
+            QUICK_LOAD, QUICK_FLEET, plan=_quick_plan(seed=8), seed=8,
+        ).run()
+        assert other.to_json() != quick_summary.to_json()
+
+    def test_faults_disabled_matches_fault_free_baseline(self):
+        empty = _run(plan=FaultPlan())
+        none_preset = _run(plan=FaultPlan.preset(
+            "none", seed=7, horizon=2.0,
+            nodes=[n.name for n in QUICK_FLEET.build()],
+        ))
+        assert empty.to_json() == none_preset.to_json()
+        assert empty.retries == 0
+        assert empty.hedges == 0
+        assert empty.count("failed") == 0
+
+
+class TestRecoveryMachinery:
+    def test_hedge_rescues_light_load_straggler(self):
+        load = LoadSpec(requests=80, horizon=4.0)
+        plan = FaultPlan((FaultEvent(
+            at=0.5, kind="straggler", node="acc1",
+            duration=3.0, factor=8.0,
+        ),))
+        summary = ServeSimulator(
+            load, FleetSpec(nodes=4), plan=plan, seed=11,
+        ).run()
+        assert summary.lost == 0
+        assert summary.hedges > 0
+        assert summary.hedge_wins > 0
+
+    def test_hedging_can_be_disabled(self):
+        load = LoadSpec(requests=80, horizon=4.0)
+        plan = FaultPlan((FaultEvent(
+            at=0.5, kind="straggler", node="acc1",
+            duration=3.0, factor=8.0,
+        ),))
+        policies = ServePolicies(hedge=HedgePolicy(enabled=False))
+        summary = ServeSimulator(
+            load, FleetSpec(nodes=4), plan=plan, policies=policies,
+            seed=11,
+        ).run()
+        assert summary.hedges == 0
+        assert summary.lost == 0
+
+    def test_transient_absorbed_by_retry(self):
+        plan = FaultPlan((FaultEvent(at=0.5, kind="transient",
+                                     node="acc0"),))
+        summary = _run(plan=plan)
+        assert summary.lost == 0
+        assert summary.retries > 0
+        assert summary.count("failed") == 0
+
+    def test_cache_corrupt_degrades_to_fallback(self):
+        oracle = TableOracle()
+        plan = FaultPlan((FaultEvent(
+            at=0.5, kind="cache_corrupt", workload="bootstrapping",
+        ),))
+        summary = _run(plan=plan, oracle=oracle)
+        assert summary.lost == 0
+        assert summary.oracle_fallbacks > 0
+
+    def test_overload_sheds_lowest_priority_tenant(self):
+        # One slow lane, a tiny queue bound: the background tenant
+        # (priority 1) must absorb the shedding.
+        tenants = (
+            TenantSpec(name="vip", priority=3, share=0.5),
+            TenantSpec(name="background", priority=1, share=0.5),
+        )
+        load = LoadSpec(requests=150, horizon=0.2, tenants=tenants)
+        policies = ServePolicies(
+            admission=AdmissionPolicy(max_queue_depth=8),
+            batching=BatchingPolicy(max_batch=2),
+            hedge=HedgePolicy(enabled=False),
+        )
+        summary = ServeSimulator(
+            load, FleetSpec(nodes=2), policies=policies, seed=3,
+        ).run()
+        assert summary.lost == 0
+        shed = [o for o in summary.outcomes.values()
+                if o.status == "shed"]
+        assert shed, "scenario must overload the queue"
+        assert all(o.tenant == "background" for o in shed)
+
+    def test_crash_recovery_survives_eviction_window(self):
+        # A long crash: the node is evicted, then rejoins at revival;
+        # its orphans must still reach terminal outcomes.
+        plan = FaultPlan((FaultEvent(
+            at=0.5, kind="crash", node="acc0", duration=1.5,
+        ),))
+        policies = ServePolicies(
+            health=HealthPolicy(check_interval=0.05, evict_after=2),
+        )
+        summary = _run(plan=plan, policies=policies)
+        assert summary.lost == 0
+        assert summary.evictions == 1
+        assert summary.rejoins == 1
+
+
+class TestMetricsIntegration:
+    def test_serve_counters_recorded(self):
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            _run(plan=_quick_plan())
+            snap = REGISTRY.snapshot()
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert snap["serve.requests"]["value"] == 200
+        assert snap["serve.retries"]["value"] > 0
+        assert snap["serve.batches"]["value"] > 0
+        assert snap["serve.faults.crash"]["value"] == 1
+        assert snap["serve.latency_ms"]["count"] == 200
+        assert "serve.queue_depth_peak" in snap
+
+    def test_retry_attempts_bounded(self):
+        # A node that eats every batch: retries must terminate at
+        # max_attempts with failed outcomes, never loop forever.
+        plan = FaultPlan(tuple(
+            FaultEvent(at=0.2 + 0.001 * i, kind="transient", node="acc0")
+            for i in range(50)
+        ))
+        policies = ServePolicies(
+            retry=RetryPolicy(max_attempts=2),
+            hedge=HedgePolicy(enabled=False),
+        )
+        summary = ServeSimulator(
+            LoadSpec(requests=40, horizon=0.5), FleetSpec(nodes=1),
+            plan=plan, policies=policies, seed=5,
+        ).run()
+        assert summary.lost == 0
+        failed = [o for o in summary.outcomes.values()
+                  if o.status == "failed"]
+        assert failed, "transient storm must exhaust some retries"
+        assert all(o.attempts <= 2 for o in summary.outcomes.values())
