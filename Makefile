@@ -90,6 +90,8 @@ lint:
 # (repro.analysis): graph invariants, CKKS semantics, schedule legality.
 verify-static:
 	PYTHONPATH=src python -m repro.analysis
+	PYTHONPATH=src python -m repro.analysis flow
+	PYTHONPATH=src python -m repro.analysis.lint src
 
 examples:
 	python examples/quickstart.py

@@ -1,9 +1,14 @@
 """``python -m repro.analysis``: verify the shipped workloads.
 
 Builds the evaluation workloads, runs every static pass on every
-distinct segment (graph, CKKS semantics, schedule legality), and prints
-the combined report.  Exit code 0 when no ERROR diagnostics were found,
-1 otherwise.
+distinct segment (graph, CKKS semantics, whole-program dataflow,
+schedule legality), and prints the combined report.  ``python -m
+repro.analysis flow [workload ...]`` runs only the F* dataflow passes.
+
+Exit code 0 when no ERROR diagnostics were found,
+:data:`~repro.analysis.diagnostics.EXIT_VERIFY` (5, shared with the
+experiment runner's ``--verify``) otherwise.  ``--json`` emits the same
+document shape as ``runner --verify-json``.
 """
 
 from __future__ import annotations
@@ -13,52 +18,68 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis import verify_workloads
+from repro.analysis import (
+    EXIT_VERIFY,
+    flow_workloads,
+    reports_document,
+    verify_workloads,
+)
+
+_DEFAULT_WORKLOADS = ["bootstrapping", "helr", "resnet20"]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    flow_only = bool(argv) and argv[0] == "flow"
+    if flow_only:
+        argv = argv[1:]
+        # ``flow resnet20`` reads naturally; accept bare workload names
+        # as well as the --workloads form.
+        positional_workloads = [a for a in argv if not a.startswith("-")]
+        if positional_workloads:
+            argv = [a for a in argv if a.startswith("-")]
+            argv += ["--workloads", *positional_workloads]
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Statically verify the shipped workload graphs and "
-        "schedules (no simulation).",
+        "schedules (no simulation).  The 'flow' subcommand runs only "
+        "the F* whole-program dataflow passes.",
     )
     parser.add_argument(
-        "--workloads", nargs="+",
-        default=["bootstrapping", "helr", "resnet20"],
+        "--workloads", nargs="+", default=_DEFAULT_WORKLOADS,
         help="workloads to verify",
     )
     parser.add_argument(
         "--params", default="ARK", help="CKKS parameter set name"
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit reports as JSON"
+        "--json", action="store_true",
+        help="emit the runner-compatible verification JSON document",
     )
     args = parser.parse_args(argv)
 
-    reports = verify_workloads(
+    run = flow_workloads if flow_only else verify_workloads
+    reports = run(
         workload_names=tuple(args.workloads), params_name=args.params
     )
-    errors = sum(len(r.errors) for r in reports)
-    warnings = sum(len(r.warnings) for r in reports)
+    document = reports_document(reports)
     if args.json:
-        print(json.dumps(
-            {
-                "errors": errors,
-                "warnings": warnings,
-                "reports": [json.loads(r.to_json(indent=None)) for r in reports],
-            },
-            indent=2,
-        ))
+        print(json.dumps(document, indent=2))
     else:
         for report in reports:
             if not report.clean:
                 print(report.render_text())
+        what = "flow pass" if flow_only else "pass"
         print(
-            f"verified {len(reports)} pass run(s): "
-            f"{errors} error(s), {warnings} warning(s)"
+            f"verified {len(reports)} {what} run(s): "
+            f"{document['errors']} error(s), "
+            f"{document['warnings']} warning(s)"
         )
-    return 0 if errors == 0 else 1
+    return 0 if document["errors"] == 0 else EXIT_VERIFY
 
 
 if __name__ == "__main__":

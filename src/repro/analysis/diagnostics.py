@@ -13,9 +13,15 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.resilience.errors import InvariantViolation
+
+#: Process exit status shared by every diagnostics front end: the
+#: experiment runner's ``--verify``, ``python -m repro.analysis`` (both
+#: the workload verifier and the ``flow`` subcommand), and the repo lint
+#: ratchet all exit 5 on ERROR findings so CI branches on one code.
+EXIT_VERIFY = 5
 
 
 class Severity(enum.Enum):
@@ -126,6 +132,50 @@ RULES: Dict[str, Rule] = _catalog([
     Rule("L002", "untyped raise in library code", Severity.ERROR,
          "raise a ReproError subclass from repro.resilience.errors so "
          "callers can branch on the failure class"),
+    # ---- whole-program dataflow verifier (F) --------------------------
+    Rule("F001", "inter-operator level budget violation", Severity.ERROR,
+         "an operator declares more limb rows than any chain of "
+         "predecessors can supply (or the chain underflows below one "
+         "limb); only BConv inside a ModUp may widen the basis"),
+    Rule("F002", "cross-window residency exceeds the keep budget",
+         Severity.ERROR,
+         "the kept ciphertexts a schedule claims resident across a step "
+         "must fit keep_fraction * sram_capacity_bytes; a claim that "
+         "cannot fit lets the simulator skip DRAM reads that must "
+         "physically happen — keep less or spill earlier"),
+    Rule("F003", "key-switch window consumes unmaterialized operands",
+         Severity.ERROR,
+         "every KSKInP window needs its evk fetched (or proven resident "
+         "from an earlier fetch) and its digits produced by a ModUp "
+         "base-conversion chain scheduled no later than the window"),
+    Rule("F004", "tensor recomputed or kept dead across windows",
+         Severity.WARNING,
+         "two scheduled windows recompute an identical operator (same "
+         "kind/signature/tag on the same inputs), or a kept output is "
+         "never claimed by a later window; share it via temporal "
+         "pipelining instead"),
+    # ---- determinism lint (D): byte-identity guardrails ---------------
+    Rule("D001", "unseeded random source", Severity.ERROR,
+         "module-level random.* / numpy.random.* and zero-argument "
+         "Random()/default_rng() draw from global or OS entropy; seed "
+         "explicitly (e.g. random.Random(f\"...\")) so artifacts are "
+         "byte-identical per seed"),
+    Rule("D002", "wall-clock value flows into artifact content",
+         Severity.ERROR,
+         "time.time()/datetime.now() in a function that also serializes "
+         "JSON makes artifacts differ run-to-run; keep timestamps out "
+         "of artifact bytes or stamp them outside the serialized dict"),
+    Rule("D003", "iteration over an unordered set", Severity.ERROR,
+         "for/comprehension over a set literal or set()/frozenset() "
+         "call iterates in hash order; wrap it in sorted(...)"),
+    Rule("D004", "unsorted directory listing", Severity.ERROR,
+         "os.listdir/scandir and glob/iterdir return entries in "
+         "filesystem order; wrap the call in sorted(...) before "
+         "iterating or serializing"),
+    Rule("D005", "order-sensitive pool result consumption", Severity.ERROR,
+         "concurrent.futures.as_completed / Pool.imap_unordered yield "
+         "in completion order; collect futures in submission order "
+         "(e.g. pool.map or an indexed dict) before emitting results"),
 ])
 
 
@@ -235,3 +285,26 @@ class DiagnosticReport:
             },
             indent=indent,
         )
+
+
+def reports_document(reports: Sequence[DiagnosticReport]) -> Dict[str, Any]:
+    """The shared JSON document for multi-report verification runs.
+
+    Every front end that aggregates several passes — runner
+    ``--verify-json``, ``python -m repro.analysis --json``, the ``flow``
+    subcommand, and the lint ratchet — emits this exact shape so CI
+    parses one schema: total counts plus one entry per pass.
+    """
+    return {
+        "errors": sum(len(r.errors) for r in reports),
+        "warnings": sum(len(r.warnings) for r in reports),
+        "reports": [
+            {
+                "pass": r.pass_name,
+                "errors": len(r.errors),
+                "warnings": len(r.warnings),
+                "diagnostics": [d.to_dict() for d in r.diagnostics],
+            }
+            for r in reports
+        ],
+    }

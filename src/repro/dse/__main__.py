@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.dse.cache import CACHE_ENV, aggregate_stats, gc_cache, scan_entries
 from repro.resilience.errors import ReproError
@@ -165,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     try:

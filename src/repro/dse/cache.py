@@ -74,7 +74,15 @@ class CacheEntry:
 
     __slots__ = ("kind", "fingerprint", "path", "ok", "reason", "meta")
 
-    def __init__(self, kind, fingerprint, path, ok, reason, meta):
+    def __init__(
+        self,
+        kind: str,
+        fingerprint: str,
+        path: str,
+        ok: bool,
+        reason: str,
+        meta: Dict[str, Any],
+    ):
         self.kind = kind
         self.fingerprint = fingerprint
         self.path = path

@@ -280,35 +280,28 @@ def _run_verify(as_json: bool) -> int:
     """Statically verify the shipped workloads before any cell runs.
 
     Returns :data:`EXIT_OK` when every pass is free of ERROR findings,
-    :data:`EXIT_VERIFY` otherwise.
+    :data:`EXIT_VERIFY` otherwise.  The JSON document is the shared
+    :func:`repro.analysis.diagnostics.reports_document` shape, identical
+    to ``python -m repro.analysis --json``.
     """
     import json
 
-    from repro.analysis import verify_workloads
+    from repro.analysis import reports_document, verify_workloads
 
     reports = verify_workloads()
-    errors = sum(len(r.errors) for r in reports)
-    warnings = sum(len(r.warnings) for r in reports)
+    document = reports_document(reports)
     if as_json:
-        print(json.dumps(
-            {
-                "errors": errors,
-                "warnings": warnings,
-                "reports": [
-                    json.loads(r.to_json(indent=None)) for r in reports
-                ],
-            },
-            indent=2,
-        ))
+        print(json.dumps(document, indent=2))
     else:
         for report in reports:
             if not report.clean:
                 print(report.render_text())
         print(
             f"verify: {len(reports)} pass run(s), "
-            f"{errors} error(s), {warnings} warning(s)"
+            f"{document['errors']} error(s), "
+            f"{document['warnings']} warning(s)"
         )
-    return EXIT_OK if errors == 0 else EXIT_VERIFY
+    return EXIT_OK if document["errors"] == 0 else EXIT_VERIFY
 
 
 def _print_report(statuses) -> None:

@@ -722,14 +722,20 @@ class Scheduler:
 
         Every operator of ``self.graph`` appears in exactly one step of a
         schedule this class produces, so the full rule set — order,
-        coverage, residency provenance — applies.  ``verify="warn"``
-        reports without failing; ``verify="off"`` skips the gate (the
-        evaluation pipeline re-verifies via the simulator's pre-run
-        check anyway).
+        coverage, residency provenance, plus the cross-window dataflow
+        rules (F002 peak residency, F003 key-switch reachability, F004
+        sharing) — applies.  ``verify="warn"`` reports without failing;
+        ``verify="off"`` skips the gate (the evaluation pipeline
+        re-verifies via the simulator's pre-run check anyway).
         """
         if self.config.verify == "off":
             return
         # Imported lazily: repro.analysis depends on this module.
+        from repro.analysis.flow import (
+            verify_key_reach,
+            verify_residency,
+            verify_sharing,
+        )
         from repro.analysis.schedule_verify import verify_schedule
         from repro.resilience.errors import VerificationError
 
@@ -737,6 +743,22 @@ class Scheduler:
             report = verify_schedule(
                 schedule, self.hw, graph=self.graph, config=self.config
             )
+            steps = list(schedule.steps)
+            if steps:
+                # The gate may be handed a partition segment rather than
+                # a complete program graph (schedule_partitioned runs one
+                # Scheduler per segment), so the graph-level F003/F004
+                # halves run in their boundary-tolerant modes: ModUp may
+                # live in an upstream segment and siblings may be
+                # consumed by a downstream one.  The full-strength graph
+                # checks run on complete graphs via verify_flow_graph
+                # (engine pre-run, runner --verify, analysis CLI).
+                verify_residency(steps, self.hw, report,
+                                 config=self.config)
+                verify_key_reach(self.graph, steps, report,
+                                 assume_boundary_materialized=True)
+                verify_sharing(self.graph, steps, report,
+                               graph_level=False)
         self.stats["verify_errors"] = float(len(report.errors))
         if report.ok:
             return

@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.obs.metrics import REGISTRY
@@ -72,7 +72,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _scenario(args: argparse.Namespace):
+def _scenario(
+    args: argparse.Namespace,
+) -> Tuple[LoadSpec, FleetSpec, FaultPlan]:
     if getattr(args, "quick", False):
         args.requests, args.nodes, args.horizon = 200, 4, 2.0
     load = LoadSpec(requests=args.requests, horizon=args.horizon)

@@ -19,10 +19,16 @@ so corruption, quarantine, and fallback are exercised end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.resilience.errors import ConfigError
+
+if TYPE_CHECKING:  # runtime imports stay lazy (repro.dse is optional here)
+    from repro.dse.cache import ArtifactCache
+    from repro.experiments.common import DesignPoint
+    from repro.fhe.params import CKKSParams
+    from repro.sched.scheduler import SchedulerConfig
 
 __all__ = [
     "AcceleratorNode",
@@ -122,7 +128,7 @@ class CacheOracle(ScheduleOracle):
 
     def __init__(
         self,
-        cache,
+        cache: "ArtifactCache",
         fingerprints: Dict[str, str],
         fallback: Optional[TableOracle] = None,
     ):
@@ -132,7 +138,11 @@ class CacheOracle(ScheduleOracle):
 
     @staticmethod
     def for_design(
-        point, params, workloads: Iterable[str], config=None, cache=None,
+        point: "DesignPoint",
+        params: "CKKSParams",
+        workloads: Iterable[str],
+        config: Optional["SchedulerConfig"] = None,
+        cache: Optional["ArtifactCache"] = None,
     ) -> "CacheOracle":
         """Build the fingerprint map for one design point.
 

@@ -35,8 +35,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.obs.metrics import REGISTRY as _METRICS
-from repro.serve.faults import FaultPlan
+from repro.serve.faults import FaultEvent, FaultPlan
 from repro.serve.fleet import (
+    AcceleratorNode,
     DOWN,
     Fleet,
     FleetSpec,
@@ -345,7 +346,7 @@ class ServeSimulator:
         now: float,
         reqs: List[ServeRequest],
         workload: str,
-        node,
+        node: AcceleratorNode,
         is_hedge: bool = False,
         rival_id: Optional[int] = None,
     ) -> Optional[Batch]:
@@ -499,7 +500,7 @@ class ServeSimulator:
         self.queue.admit(req, requeue=True)
         self._schedule_flush(now, req.workload)
 
-    def _on_fault(self, now: float, event) -> None:
+    def _on_fault(self, now: float, event: FaultEvent) -> None:
         self._count_fault(event.kind)
         if event.kind == "crash":
             self._crash(now, event)
@@ -521,7 +522,7 @@ class ServeSimulator:
         elif event.kind == "cache_corrupt":
             self.oracle.inject_fault(event.workload)
 
-    def _crash(self, now: float, event) -> None:
+    def _crash(self, now: float, event: FaultEvent) -> None:
         node = self.fleet.by_name.get(event.node)
         if node is None:
             return
@@ -557,7 +558,7 @@ class ServeSimulator:
         self.fleet.rejoin(node, now)
         self._pump(now)
 
-    def _drain_orphans(self, node, now: float) -> None:
+    def _drain_orphans(self, node: AcceleratorNode, now: float) -> None:
         orphans, node.orphans = node.orphans, []
         for req in orphans:
             self._retry_or_fail(req, now, error="crash")
@@ -568,7 +569,7 @@ class ServeSimulator:
             for workload in self.queue.workloads_waiting():
                 self._schedule_flush(now, workload)
 
-    def _on_health(self, now: float, _payload) -> None:
+    def _on_health(self, now: float, _payload: Any) -> None:
         health = self.policies.health
         for node in self.fleet.nodes:
             if node.state != DOWN:

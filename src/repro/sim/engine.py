@@ -104,14 +104,25 @@ class SimulationEngine:
 
         Unless constructed with ``verify=False``, the engine first runs
         the per-step legality rules (:func:`repro.analysis.
-        schedule_verify.verify_steps`) and refuses schedules whose steps
-        are non-physical, so cost-model bugs surface as a typed
-        :class:`SimulationError` instead of silently wrong numbers.
+        schedule_verify.verify_steps`) plus the whole-graph level-budget
+        propagation (:func:`repro.analysis.flow.verify_levels`, F001)
+        over every distinct graph the steps reference, and refuses
+        schedules whose steps are non-physical, so cost-model bugs
+        surface as a typed :class:`SimulationError` instead of silently
+        wrong numbers.
         """
         if self.verify:
+            from repro.analysis.flow import verify_levels
             from repro.analysis.schedule_verify import verify_steps
 
             report = verify_steps(schedule.steps, self.config)
+            seen_graphs = set()
+            for step in schedule.steps:
+                graph = step.plan.graph
+                if graph is None or id(graph) in seen_graphs:
+                    continue
+                seen_graphs.add(id(graph))
+                verify_levels(graph, report)
             if not report.ok:
                 raise SimulationError(
                     "schedule failed pre-run verification",

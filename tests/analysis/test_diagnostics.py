@@ -14,13 +14,15 @@ from repro.analysis.diagnostics import (
 class TestCatalog:
     def test_rule_families_present(self):
         families = {rid[0] for rid in RULES}
-        assert families == {"G", "C", "S", "L"}
+        assert families == {"G", "C", "S", "L", "F", "D"}
 
     def test_expected_rule_ids(self):
         for rid in ["G001", "G002", "G003", "G004", "G005",
                     "C001", "C002", "C003", "C004", "C005", "C006",
                     "S001", "S002", "S003", "S004", "S005", "S006",
-                    "S007", "S008", "S009", "L001", "L002"]:
+                    "S007", "S008", "S009", "L001", "L002",
+                    "F001", "F002", "F003", "F004",
+                    "D001", "D002", "D003", "D004", "D005"]:
             assert rid in RULES
 
     def test_every_rule_has_hint_and_title(self):

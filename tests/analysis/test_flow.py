@@ -1,0 +1,332 @@
+"""F* dataflow verifiers: fixpoint engine properties, seeded mutations."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.analysis.__main__ as analysis_main
+from repro.analysis import (
+    EXIT_VERIFY,
+    verify_flow_graph,
+    verify_flow_schedule,
+    verify_key_reach,
+    verify_levels,
+    verify_residency,
+    verify_semantics,
+    verify_sharing,
+    verify_steps,
+)
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.flow import IntervalLattice, LevelIntervalAnalysis
+from repro.fhe.params import parameter_set
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.ir.graph import OperatorGraph
+from repro.ir.operators import Operator, OpKind
+from repro.ir.tensors import (
+    TensorKind,
+    evk_tensor,
+    external_tensor,
+    poly_tensor,
+)
+from repro.sched.scheduler import Scheduler, SchedulerConfig
+
+PARAMS = parameter_set("ARK")
+
+
+def _hmult_graph():
+    b = GraphBuilder(PARAMS)
+    b.hmult(b.input_ciphertext("x", PARAMS.max_level),
+            b.input_ciphertext("y", PARAMS.max_level))
+    return b.graph
+
+
+def _single(op):
+    g = OperatorGraph("fixture")
+    g.add_operator(op)
+    return g
+
+
+@pytest.fixture()
+def scheduled():
+    """Fresh graph + schedule per test: mutations must not leak."""
+    graph = _hmult_graph()
+    schedule = Scheduler(graph, CROPHE_64,
+                         SchedulerConfig(verify="off")).schedule()
+    return graph, schedule
+
+
+# ----------------------------------------------------------------------
+# Fixpoint engine
+# ----------------------------------------------------------------------
+
+@st.composite
+def _random_dags(draw):
+    """A random element-wise DAG over polynomial tensors."""
+    g = OperatorGraph("prop")
+    tensors = [
+        poly_tensor(f"r{i}", draw(st.integers(1, 8)), 16)
+        for i in range(draw(st.integers(1, 3)))
+    ]
+    for i in range(draw(st.integers(1, 12))):
+        arity = draw(st.integers(1, min(3, len(tensors))))
+        picks = draw(st.lists(
+            st.integers(0, len(tensors) - 1),
+            min_size=arity, max_size=arity, unique=True,
+        ))
+        rows = draw(st.integers(1, 8))
+        out = poly_tensor(f"t{i}", rows, 16)
+        g.add_operator(Operator(
+            f"op{i}", OpKind.EW_ADD, rows, 16,
+            inputs=[tensors[j] for j in picks], outputs=[out],
+        ))
+        tensors.append(out)
+    return g
+
+
+class TestFixpointEngine:
+    @settings(max_examples=50, deadline=None)
+    @given(graph=_random_dags())
+    def test_terminates_and_covers_every_operator(self, graph):
+        result = LevelIntervalAnalysis().run(graph)
+        assert result.converged
+        assert set(result.visits) == {op.uid for op in graph.operators}
+        # Every polynomial output carries its declared rows at fixpoint.
+        for op in graph.operators:
+            for t in op.outputs:
+                assert result.values[t.uid] == (op.limbs, op.limbs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=_random_dags())
+    def test_fixpoint_is_deterministic(self, graph):
+        first = LevelIntervalAnalysis().run(graph)
+        second = LevelIntervalAnalysis().run(graph)
+        assert first.values == second.values
+        assert first.iterations == second.iterations
+
+    def test_interval_widening_jumps_to_bounds(self):
+        lat = IntervalLattice(floor=0, ceiling=100)
+        assert lat.widen((2, 5), (2, 6)) == (2, 100)
+        assert lat.widen((2, 5), (1, 5)) == (0, 5)
+        assert lat.widen((2, 5), (2, 5)) == (2, 5)
+
+
+# ----------------------------------------------------------------------
+# Graph-level mutations
+# ----------------------------------------------------------------------
+
+class TestGraphMutations:
+    def test_limb_minting_trips_f001_where_c002_is_silent(self):
+        # Two 2-row operands cannot yield 4 rows element-wise, but the
+        # local sum rule (C002) accepts it: 4 <= 2 + 2.
+        op = Operator("mint", OpKind.EW_MUL, 4, 16,
+                      inputs=[poly_tensor("a", 2, 16),
+                              poly_tensor("b", 2, 16)],
+                      outputs=[poly_tensor("o", 4, 16)])
+        graph = _single(op)
+        assert "C002" not in verify_semantics(graph, PARAMS).rule_ids()
+        assert "F001" in verify_levels(graph).rule_ids()
+
+    def test_modup_extend_concatenation_is_legal(self):
+        # The ModUp `.extend` EW_ADD is the one place rows legally sum.
+        op = Operator("ext", OpKind.EW_ADD, 5, 16, tag="ks.modup.extend",
+                      inputs=[poly_tensor("lo", 2, 16),
+                              poly_tensor("hi", 3, 16)],
+                      outputs=[poly_tensor("o", 5, 16)])
+        assert verify_levels(_single(op)).clean
+
+    def test_level_underflow_trips_f001(self):
+        op = Operator("under", OpKind.EW_ADD, 0, 16,
+                      inputs=[poly_tensor("i", 0, 16)],
+                      outputs=[poly_tensor("o", 0, 16)])
+        assert "F001" in verify_levels(_single(op)).rule_ids()
+
+    def _ksk_graph(self, materialize):
+        """KSKInP over three digits, with or without a ModUp BConv."""
+        g = OperatorGraph("ksk")
+        src = external_tensor("src", 6, 16)
+        digits = []
+        for j in range(3):
+            d = poly_tensor(f"d{j}", 6, 16)
+            kind = OpKind.BCONV if materialize else OpKind.EW_ADD
+            g.add_operator(Operator(f"mk{j}", kind, 6, 16,
+                                    inputs=[src], outputs=[d]))
+            digits.append(d)
+        outs = [poly_tensor("ob", 6, 16), poly_tensor("oa", 6, 16)]
+        g.add_operator(Operator(
+            "ksk", OpKind.KSK_INP, 6, 16, digits=3,
+            inputs=digits + [evk_tensor("evk", beta=3, limbs=6, n=16)],
+            outputs=outs,
+        ))
+        return g, outs
+
+    def test_unmaterialized_digits_trip_f003(self):
+        graph, _ = self._ksk_graph(materialize=False)
+        report = verify_key_reach(graph)
+        assert report.rule_ids() == ["F003", "F003", "F003"]
+
+    def test_bconv_materialized_digits_are_clean(self):
+        graph, _ = self._ksk_graph(materialize=True)
+        assert verify_key_reach(graph).clean
+
+    def test_partition_boundary_digits_exempt_when_assumed(self):
+        # A partition segment can start mid-key-switch: the digits'
+        # ModUp ran in an upstream segment, so their chains root at
+        # producerless tensors.  The scheduler gate's tolerant mode
+        # accepts that; the strict whole-graph mode still flags it.
+        g = OperatorGraph("segment")
+        digits = [poly_tensor(f"d{j}", 6, 16) for j in range(3)]
+        exts = [poly_tensor(f"e{j}", 6, 16) for j in range(3)]
+        for j in range(3):
+            g.add_operator(Operator(f"ext{j}", OpKind.EW_ADD, 6, 16,
+                                    tag="ks.modup.extend",
+                                    inputs=[digits[j]],
+                                    outputs=[exts[j]]))
+        g.add_operator(Operator(
+            "ksk", OpKind.KSK_INP, 6, 16, digits=3,
+            inputs=exts + [evk_tensor("evk", beta=3, limbs=6, n=16)],
+            outputs=[poly_tensor("ob", 6, 16), poly_tensor("oa", 6, 16)],
+        ))
+        assert "F003" in verify_key_reach(g).rule_ids()
+        assert verify_key_reach(
+            g, assume_boundary_materialized=True).clean
+
+    def test_dead_sibling_output_trips_f004(self):
+        graph, outs = self._ksk_graph(materialize=True)
+        # Consume acc_b only; acc_a is computed and written back dead.
+        graph.add_operator(Operator("use", OpKind.EW_ADD, 6, 16,
+                                    inputs=[outs[0]],
+                                    outputs=[poly_tensor("r", 6, 16)]))
+        report = verify_sharing(graph)
+        assert "F004" in report.rule_ids()
+        assert "oa" in report.diagnostics[0].message
+
+    def test_fully_consumed_outputs_are_clean_for_f004(self):
+        graph, outs = self._ksk_graph(materialize=True)
+        graph.add_operator(Operator("use", OpKind.EW_ADD, 6, 16,
+                                    inputs=list(outs),
+                                    outputs=[poly_tensor("r", 6, 16)]))
+        assert verify_sharing(graph).clean
+
+
+# ----------------------------------------------------------------------
+# Schedule-level mutations
+# ----------------------------------------------------------------------
+
+class TestScheduleMutations:
+    def test_clean_schedule_passes_all_flow_checks(self, scheduled):
+        graph, schedule = scheduled
+        report = verify_flow_schedule(schedule, CROPHE_64, graph=graph)
+        assert report.clean, report.render_text()
+
+    def test_inflated_residency_claims_trip_f002(self):
+        # ISSUE acceptance: every per-window check accepts this
+        # schedule — S005 in particular, since each claimed tensor
+        # really was kept by an earlier window — and the simulator
+        # would price it while skipping the DRAM reads the claims
+        # suppress.  Only the cross-window sum exposes that the claims
+        # cannot all fit the keep pool.
+        small_hw = CROPHE_64.with_sram_mb(16.0)
+        config = SchedulerConfig(verify="off")
+        schedule = Scheduler(_hmult_graph(), small_hw, config).schedule()
+        steps = list(schedule.steps)
+        assert verify_residency(steps, small_hw, config=config).clean
+        budget = int(small_hw.sram_capacity_bytes * config.keep_fraction)
+        sizes = {}
+        for step in steps:
+            for t in step.plan.boundary()[1]:
+                sizes.setdefault(t.uid, t.bytes)
+        last = len(steps) - 1
+        claimed = 0
+        for i, step in enumerate(steps):
+            if i + config.stream_window >= last:
+                break
+            for uid in step.kept_outputs:
+                steps[last].resident_inputs.add(uid)
+                claimed += sizes.get(uid, 0)
+        if claimed <= budget:
+            pytest.skip("not enough kept bytes to oversubscribe the pool")
+        assert verify_steps(steps, small_hw).ok
+        report = verify_residency(steps, small_hw, config=config)
+        assert "F002" in report.rule_ids()
+
+    def test_dropped_evk_fetch_trips_f003(self, scheduled):
+        graph, schedule = scheduled
+        steps = list(schedule.steps)
+        for step in steps:
+            for op in step.plan.ops:
+                if op.kind is not OpKind.KSK_INP:
+                    continue
+                evk = next(t for t in op.inputs
+                           if t.kind is TensorKind.EVK)
+                step.plan.metrics.constant_bytes.pop(evk.uid, None)
+                step.resident_constants.discard(evk.uid)
+                assert verify_steps(steps, CROPHE_64).ok
+                report = verify_key_reach(graph, steps)
+                assert "F003" in report.rule_ids()
+                return
+        pytest.fail("hmult schedule has no key-switch window")
+
+    def test_cross_window_recompute_trips_f004(self, scheduled):
+        graph, schedule = scheduled
+        steps = list(schedule.steps)
+        if len(steps) < 2:
+            pytest.skip("schedule has a single window")
+        clone = next(
+            op for op in steps[0].plan.ops if ".decomp" not in op.tag)
+        steps[-1].plan.ops = steps[-1].plan.ops + (clone,)
+        assert "F004" in verify_sharing(graph, steps).rule_ids()
+
+    def test_same_window_duplicates_not_flagged(self, scheduled):
+        graph, schedule = scheduled
+        steps = list(schedule.steps)
+        clone = next(
+            op for op in steps[0].plan.ops if ".decomp" not in op.tag)
+        steps[0].plan.ops = steps[0].plan.ops + (clone,)
+        assert verify_sharing(graph, steps).clean
+
+
+# ----------------------------------------------------------------------
+# Known-good workloads
+# ----------------------------------------------------------------------
+
+class TestKnownGood:
+    """ISSUE acceptance: the shipped workloads are F*-clean end to end."""
+
+    def test_quick_workloads_verify_flow_clean(self):
+        from repro.analysis import flow_workloads
+
+        reports = flow_workloads(
+            workload_names=("bootstrapping", "helr", "resnet20"))
+        assert reports
+        for report in reports:
+            assert report.clean, report.render_text()
+
+
+# ----------------------------------------------------------------------
+# Front ends
+# ----------------------------------------------------------------------
+
+class TestFrontEnds:
+    def test_hmult_graph_is_flow_clean(self):
+        report = verify_flow_graph(_hmult_graph())
+        assert report.clean, report.render_text()
+
+    def test_cli_clean_run_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            analysis_main, "flow_workloads",
+            lambda **k: [DiagnosticReport(pass_name="flow")])
+        assert analysis_main.main(["flow", "helr"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_cli_finding_exits_verify_code(self, monkeypatch, capsys):
+        bad = DiagnosticReport(pass_name="flow")
+        bad.emit("F002", "step 0", "seeded failure")
+        monkeypatch.setattr(
+            analysis_main, "flow_workloads", lambda **k: [bad])
+        assert analysis_main.main(["flow", "--json"]) == EXIT_VERIFY
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["reports"][0]["diagnostics"][0]["rule"] == "F002"

@@ -1,8 +1,8 @@
-"""Repo lint pass: bare asserts, untyped raises, baseline mechanics."""
+"""Repo lint pass: typed-error and determinism rules, baseline mechanics."""
 
 import json
 
-from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.diagnostics import EXIT_VERIFY, DiagnosticReport
 from repro.analysis.lint import (
     DEFAULT_BASELINE,
     lint_source,
@@ -56,6 +56,104 @@ class TestRules:
         assert report.rule_ids() == ["L002"]
 
 
+class TestDeterminismRules:
+    """One seeded mutation (and a clean twin) per D* rule."""
+
+    def test_global_random_draw_trips_d001(self):
+        report = _lint("import random\nx = random.random()\n")
+        assert report.rule_ids() == ["D001"]
+
+    def test_legacy_numpy_draw_trips_d001(self):
+        report = _lint("import numpy as np\nx = np.random.rand(4)\n")
+        assert report.rule_ids() == ["D001"]
+
+    def test_unseeded_rng_constructor_trips_d001(self):
+        for ctor in ("random.Random()", "np.random.default_rng()",
+                     "np.random.RandomState()"):
+            report = _lint(f"x = {ctor}\n")
+            assert report.rule_ids() == ["D001"], ctor
+
+    def test_seeded_rng_is_clean(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = random.Random(7)\n"
+            "x = rng.random()\n"
+            "gen = np.random.default_rng(7)\n"
+            "y = gen.normal()\n"
+        )
+        assert _lint(src).clean
+
+    def test_wall_clock_into_json_trips_d002(self):
+        src = (
+            "import json, time\n"
+            "def dump(path, doc):\n"
+            "    doc['stamp'] = time.time()\n"
+            "    with open(path, 'w') as fh:\n"
+            "        json.dump(doc, fh)\n"
+        )
+        report = _lint(src)
+        assert report.rule_ids() == ["D002"]
+
+    def test_wall_clock_without_serialization_is_clean(self):
+        src = (
+            "import time\n"
+            "def measure(fn):\n"
+            "    start = time.time()\n"
+            "    fn()\n"
+            "    return time.time() - start\n"
+        )
+        assert _lint(src).clean
+
+    def test_set_iteration_trips_d003(self):
+        report = _lint("for x in {1, 2, 3}:\n    print(x)\n")
+        assert report.rule_ids() == ["D003"]
+
+    def test_set_comprehension_source_trips_d003(self):
+        report = _lint("names = [n for n in set(raw)]\n")
+        assert report.rule_ids() == ["D003"]
+
+    def test_sorted_set_iteration_is_clean(self):
+        assert _lint("for x in sorted({1, 2, 3}):\n    print(x)\n").clean
+
+    def test_unsorted_listdir_trips_d004(self):
+        report = _lint("import os\nfor f in os.listdir('.'):\n    print(f)\n")
+        assert report.rule_ids() == ["D004"]
+
+    def test_unsorted_pathlib_glob_trips_d004(self):
+        report = _lint("files = list(root.glob('*.py'))\n")
+        assert report.rule_ids() == ["D004"]
+
+    def test_sorted_listing_is_clean(self):
+        src = (
+            "import glob, os\n"
+            "a = sorted(os.listdir('.'))\n"
+            "b = sorted(glob.glob('*.py'))\n"
+            "c = sorted(root.rglob('*.py'))\n"
+        )
+        assert _lint(src).clean
+
+    def test_as_completed_trips_d005(self):
+        src = (
+            "from concurrent.futures import as_completed\n"
+            "def drain(futures):\n"
+            "    return [f.result() for f in as_completed(futures)]\n"
+        )
+        report = _lint(src)
+        assert report.rule_ids() == ["D005"]
+
+    def test_imap_unordered_trips_d005(self):
+        report = _lint("results = list(pool.imap_unordered(fn, jobs))\n")
+        assert report.rule_ids() == ["D005"]
+
+    def test_submission_order_consumption_is_clean(self):
+        src = (
+            "def drain(futures):\n"
+            "    return [f.result() for f in futures]\n"
+        )
+        assert _lint(src).clean
+
+
 class TestBaseline:
     def test_counts_roundtrip(self, tmp_path):
         report = _lint("assert True\nraise ValueError('x')\n")
@@ -84,10 +182,11 @@ class TestCli:
         good.write_text("def f():\n    return 1\n")
         assert main([str(tmp_path), "--baseline", str(tmp_path / "b.txt")]) == 0
 
-    def test_regression_exits_nonzero(self, tmp_path):
+    def test_regression_exits_verify_code(self, tmp_path):
         bad = tmp_path / "bad.py"
         bad.write_text("assert True\n")
-        assert main([str(tmp_path), "--baseline", str(tmp_path / "b.txt")]) == 1
+        assert main([str(tmp_path), "--baseline",
+                     str(tmp_path / "b.txt")]) == EXIT_VERIFY
 
     def test_write_baseline_then_pass(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -97,16 +196,39 @@ class TestCli:
                      "--write-baseline"]) == 0
         assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
         bad.write_text("raise ValueError('legacy')\nraise TypeError('new')\n")
-        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        assert main([str(tmp_path), "--baseline",
+                     str(baseline)]) == EXIT_VERIFY
 
-    def test_json_output(self, tmp_path, capsys):
+    def test_json_output_matches_runner_document(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("assert True\n")
         code = main([str(tmp_path), "--baseline", str(tmp_path / "b.txt"),
                      "--json"])
-        assert code == 1
+        assert code == EXIT_VERIFY
         payload = json.loads(capsys.readouterr().out)
-        assert payload["diagnostics"][0]["rule"] == "L001"
+        assert payload["errors"] == 1
+        assert payload["reports"][0]["diagnostics"][0]["rule"] == "L001"
+
+    def test_update_baseline_shrinks_but_refuses_growth(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("raise ValueError('a')\nraise ValueError('b')\n")
+        baseline = tmp_path / "b.txt"
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        # One finding fixed: --update-baseline ratchets the entry down.
+        bad.write_text("raise ValueError('a')\n")
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert load_baseline(baseline) == {
+            (bad.as_posix(), "L002"): 1,
+        }
+        # A new finding appears: --update-baseline refuses to accept it.
+        bad.write_text("raise ValueError('a')\nassert True\n")
+        assert main([str(tmp_path), "--baseline", str(baseline),
+                     "--update-baseline"]) == EXIT_VERIFY
+        assert load_baseline(baseline) == {
+            (bad.as_posix(), "L002"): 1,
+        }
 
 
 class TestRepoIsClean:
