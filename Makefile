@@ -1,6 +1,6 @@
 # Convenience targets for the CROPHE reproduction.
 
-.PHONY: install test bench bench-check bench-sched bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat serve serve-chaos examples lint verify-static
+.PHONY: install test bench bench-check bench-sched bench-serve bench-serve-check bench-pytest bench-full trace experiments experiments-quick experiments-cached dse-stat serve serve-chaos examples lint verify-static
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,22 @@ bench-sched:
 	REPRO_DSE_CACHE=$(CURDIR)/.bench-sched-cache PYTHONPATH=src \
 		python -m repro.obs bench --quick --out bench_sched.json
 	rm -rf .bench-sched-cache
+
+# Serving-telemetry baseline: the quick aggressive-chaos scenario's
+# metrics snapshot (deterministic counters only — request/outcome/
+# retry/hedge/eviction counts; never wall-clock).  The committed
+# BENCH_serve.json is the baseline `bench-serve-check` gates against.
+bench-serve:
+	PYTHONPATH=src python -m repro.serve run --quick --faults aggressive \
+		--seed 3 --metrics-json BENCH_serve.json
+
+# Re-run the serving scenario to a scratch snapshot and gate against
+# the committed baseline (fails on >10% drift of any gated counter —
+# with a fixed seed any drift is a behavior change, not noise).
+bench-serve-check:
+	PYTHONPATH=src python -m repro.serve run --quick --faults aggressive \
+		--seed 3 --metrics-json bench_serve_current.json
+	PYTHONPATH=src python -m repro.obs diff BENCH_serve.json bench_serve_current.json
 
 # Export a quick ResNet-20 Perfetto trace (open at ui.perfetto.dev).
 trace:

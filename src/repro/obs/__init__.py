@@ -12,6 +12,10 @@ The observability layer (DESIGN.md "Observability"):
   JSON, and Chrome/Perfetto ``trace_json``;
 * :mod:`repro.obs.attribution` — per-group bottleneck-attribution
   tables from event streams;
+* :mod:`repro.obs.fleet` — the virtual-clock observability plane for
+  :mod:`repro.serve`: per-request causal span trees, windowed
+  time-series rollups, SLO burn rates, and the flight recorder behind
+  ``python -m repro.serve postmortem``;
 * :mod:`repro.obs.diffing` — snapshot diffs with threshold-based
   regression verdicts;
 * :mod:`repro.obs.bench` — the benchmark harness behind ``make bench``
@@ -29,6 +33,11 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.obs.events import SINK
+from repro.obs.fleet import (
+    FleetObserver,
+    FleetTracer,
+    FlightRecorder,
+)
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.tracer import TRACER, Span, Tracer, span, traced
 
@@ -39,6 +48,9 @@ __all__ = [
     "Span",
     "Tracer",
     "MetricsRegistry",
+    "FleetObserver",
+    "FleetTracer",
+    "FlightRecorder",
     "span",
     "traced",
     "enable",

@@ -94,6 +94,72 @@ def _summarize_metrics(metrics: dict) -> None:
         print(f"  {name:<44s} {shown:>14s}")
 
 
+def _summarize_serve(document: dict) -> None:
+    """Burn-rate and time-series tables for a serve run summary."""
+    totals = document.get("totals", {})
+    print(
+        f"serve summary: {totals.get('requests', '?')} requests, "
+        f"{totals.get('ok', '?')} ok / {totals.get('shed', '?')} shed / "
+        f"{totals.get('failed', '?')} failed / "
+        f"{totals.get('lost', '?')} lost"
+    )
+    slo = document.get("slo", {})
+    tenants = slo.get("tenants", {})
+    if tenants:
+        print(f"-- slo burn rates (bucket {slo.get('bucket')}s) --")
+        print(f"  {'tenant':<14s}{'burn':>10s}{'worst':>10s}"
+              f"{'bad':>8s}{'total':>8s}{'budget':>10s}")
+        for name in sorted(tenants):
+            report = tenants[name]
+            tot = report.get("totals", {})
+            worst = max(
+                (w.get("burn_rate", 0.0)
+                 for w in report.get("windows", [])),
+                default=0.0,
+            )
+            print(
+                f"  {name:<14s}{tot.get('burn_rate', 0.0):>10.3f}"
+                f"{worst:>10.3f}{tot.get('bad', 0):>8d}"
+                f"{tot.get('completed', 0):>8d}"
+                f"{tot.get('budget', 0.0):>10.4f}"
+            )
+    series = document.get("timeseries", {})
+    windows = series.get("windows", [])
+    if windows:
+        print(f"-- time series (bucket {series.get('bucket')}s) --")
+        print(f"  {'t0':>8s}{'arrive':>8s}{'ok':>6s}{'shed':>6s}"
+              f"{'fail':>6s}{'depth':>7s}{'p95_ms':>10s}{'p999_ms':>10s}")
+        for w in windows:
+            print(
+                f"  {w['t0']:>8.2f}{w['arrivals']:>8d}{w['ok']:>6d}"
+                f"{w['shed']:>6d}{w['failed']:>6d}"
+                f"{w['queue_depth_max']:>7d}{w['p95_ms']:>10.3f}"
+                f"{w['p999_ms']:>10.3f}"
+            )
+
+
+def _summarize_postmortem(document: dict) -> None:
+    context = document.get("context", {})
+    rendered = " ".join(
+        f"{k}={context[k]}" for k in sorted(context)
+    )
+    print(f"postmortem document ({rendered})")
+    for pm in document.get("postmortems", []):
+        rings = pm.get("rings", {})
+        events = sum(len(v) for v in rings.values())
+        print(
+            f"-- {pm.get('reason')} at t={pm.get('at')}s: "
+            f"{events} event(s) across {len(rings)} ring(s) --"
+        )
+        for name in sorted(rings):
+            for entry in rings[name]:
+                print(
+                    f"  [{name}] #{entry['seq']:<6d} "
+                    f"t={entry['at']:<12.6f} {entry['kind']:<14s} "
+                    f"{entry['detail']}"
+                )
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     if args.document.endswith(".jsonl"):
         from repro.obs.attribution import attribute_events, format_attribution
@@ -105,6 +171,12 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     document = load_bench(args.document)
     if document.get("kind") == "repro-bench":
         _summarize_bench(document)
+        return 0
+    if document.get("kind") == "repro-postmortem":
+        _summarize_postmortem(document)
+        return 0
+    if "slo" in document and "timeseries" in document:
+        _summarize_serve(document)
         return 0
     metrics = document.get("metrics", document)
     _summarize_metrics(metrics if isinstance(metrics, dict) else {})

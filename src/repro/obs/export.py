@@ -17,17 +17,22 @@ OP/NoC/DRAM slices line up the way Figure 11's attribution story reads.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.tracer import Span
 from repro.sim.trace import EventKind, TraceEvent
+
+if TYPE_CHECKING:  # import cycle stays lazy: fleet imports metrics only
+    from repro.obs.fleet import FleetTracer, VSpan
 
 __all__ = [
     "render_span_tree",
     "spans_to_json",
     "spans_to_perfetto",
     "events_to_perfetto",
+    "fleet_to_perfetto",
     "write_json",
+    "write_json_stable",
 ]
 
 
@@ -157,10 +162,120 @@ def events_to_perfetto(
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
+# ---------------------------------------------------------------------------
+# Fleet (virtual-clock) exports
+# ---------------------------------------------------------------------------
+
+#: Microseconds of Perfetto time per virtual second.  Perfetto ``ts``
+#: values are microseconds; the serving clock counts seconds.
+_US_PER_VIRTUAL_SECOND = 1e6
+
+
+def fleet_to_perfetto(
+    tracer: "FleetTracer",
+    process_name: str = "repro.serve fleet",
+    pid: int = 1,
+) -> Dict[str, object]:
+    """Chrome/Perfetto ``trace_json`` for one serving run.
+
+    Layout mirrors how the chaos story reads:
+
+    * one named track ("thread") per accelerator node carrying the
+      batch slices that occupied it (``ph="X"``, cancellations and
+      crash truncations tagged in ``args``);
+    * one *async* span tree per request (``ph="b"``/``"e"`` with the
+      request index as ``id``) — root ``request`` span with queue /
+      service / backoff / hedge child phases;
+    * one *flow* per request (``ph="s"``/``"t"``/``"f"``) threading its
+      service attempts across node tracks, so a retried or hedged
+      request draws arrows from node to node.
+
+    Timestamps are virtual-clock microseconds.  Everything is emitted
+    in a deterministic order (nodes and request ids sorted, batches in
+    dispatch order), so two same-seed runs export byte-identical
+    traces — CI ``cmp``'s them.
+    """
+    nodes = sorted({b.track for b in tracer.batches if b.track})
+    node_tid = {name: i + 1 for i, name in enumerate(nodes)}
+    trace_events: List[Dict[str, object]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    for name in nodes:
+        trace_events.append({
+            "ph": "M", "pid": pid, "tid": node_tid[name],
+            "name": "thread_name", "args": {"name": f"node {name}"},
+        })
+
+    def us(t: float) -> int:
+        return int(round(t * _US_PER_VIRTUAL_SECOND))
+
+    def args_of(span: "VSpan") -> Dict[str, object]:
+        return {k: span.attrs[k] for k in sorted(span.attrs)}
+
+    for batch in tracer.batches:
+        trace_events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": node_tid.get(batch.track, 0),
+            "name": batch.name,
+            "cat": "batch",
+            "ts": us(batch.start),
+            "dur": max(us(batch.start + batch.duration) - us(batch.start), 1),
+            "args": args_of(batch),
+        })
+
+    for index, rid in enumerate(sorted(tracer.requests)):
+        root = tracer.requests[rid].root
+        common = {"pid": pid, "tid": 0, "cat": "request", "id": index}
+        trace_events.append(dict(
+            common, ph="b", name="request", ts=us(root.start),
+            args=args_of(root),
+        ))
+        service_marks: List[Tuple[int, str]] = []
+        for child in root.children:
+            end = child.end if child.end is not None else root.end
+            trace_events.append(dict(
+                common, ph="b", name=child.name, ts=us(child.start),
+                args=args_of(child),
+            ))
+            trace_events.append(dict(
+                common, ph="e", name=child.name,
+                ts=us(end if end is not None else child.start),
+            ))
+            if child.kind in ("service", "hedge"):
+                node = str(child.attrs.get("node", ""))
+                if node in node_tid:
+                    service_marks.append((us(child.start), node))
+        root_end = root.end if root.end is not None else root.start
+        trace_events.append(dict(
+            common, ph="e", name="request", ts=us(root_end),
+        ))
+        flow = {"pid": pid, "cat": "flow", "id": index, "name": rid}
+        for mark, (ts, node) in enumerate(service_marks):
+            ph = "s" if mark == 0 else "t"
+            trace_events.append(dict(
+                flow, ph=ph, tid=node_tid[node], ts=ts,
+            ))
+        if service_marks:
+            trace_events.append(dict(
+                flow, ph="f", bp="e", tid=node_tid[service_marks[-1][1]],
+                ts=us(root_end),
+            ))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
 def write_json(payload: Dict[str, object], path: str) -> None:
     """Write one JSON document (UTF-8, trailing newline)."""
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def write_json_stable(payload: Dict[str, object], path: str) -> None:
+    """Write one JSON document with sorted keys (byte-diffable in CI)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 

@@ -12,31 +12,142 @@ dotted, lowercase, ``<layer>.<what>`` with an optional trailing
 ``_seconds`` are wall-clock measurements and are treated as *noisy* by
 the regression differ (reported, never gated, unless asked).
 
+A metric may additionally carry a small frozen **label tuple**
+(``labels=(("tenant", "batch"),)``); label keys come from the closed
+:data:`LABEL_CATALOG` and render sorted by key into the snapshot name
+(``serve.outcomes{status=ok,tenant=batch}``), so labeled exports are
+deterministic by construction.  This module is also home to the shared
+linearly-interpolated :func:`quantile` / :func:`percentile` helpers the
+serving summary and time-series rollups report latency through.
+
 Snapshots are plain ``{name: {"type": ..., ...}}`` dicts, stable under
 JSON round-trips, and are what ``python -m repro.obs diff`` compares.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import threading
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LABEL_CATALOG",
+    "Labels",
     "MetricsRegistry",
     "REGISTRY",
     "is_time_metric",
+    "labeled_name",
+    "percentile",
+    "percentile_summary",
+    "quantile",
 ]
 
 Number = Union[int, float]
 
+#: A canonical (sorted) tuple of ``(key, value)`` label pairs.
+Labels = Tuple[Tuple[str, str], ...]
+
+#: The closed catalog of metric label keys (DESIGN.md "Metric
+#: catalog").  Labeled metrics keep cardinality bounded and exports
+#: deterministic by construction: an unknown key is a ``KeyError`` at
+#: the recording site, the same contract as a metric-type mismatch.
+LABEL_CATALOG = frozenset(
+    {"kind", "node", "status", "tenant", "workload"}
+)
+
 
 def is_time_metric(name: str) -> bool:
     """Whether a metric carries wall-clock time (noisy across runs)."""
-    return name.endswith("_seconds") or name.endswith("wall_seconds")
+    base = name.split("{", 1)[0]
+    return base.endswith("_seconds") or base.endswith("wall_seconds")
+
+
+# ---------------------------------------------------------------------------
+# Quantiles
+# ---------------------------------------------------------------------------
+
+def quantile(sorted_vals: Sequence[float], q: float) -> float:
+    """Linearly-interpolated quantile over an **ascending** sequence.
+
+    ``q`` is a fraction in ``[0, 1]``.  Matches the "inclusive" method
+    of :func:`statistics.quantiles` (and numpy's default ``linear``
+    interpolation): the sample minimum and maximum are the 0th and
+    100th percentiles, and interior quantiles interpolate between the
+    two nearest order statistics.  Empty input yields ``0.0``.
+    """
+    n = len(sorted_vals)
+    if n == 0:
+        return 0.0
+    if q <= 0.0:
+        return float(sorted_vals[0])
+    if q >= 1.0:
+        return float(sorted_vals[-1])
+    pos = q * (n - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(sorted_vals[lo])
+    frac = pos - lo
+    return float(sorted_vals[lo]) * (1.0 - frac) + float(sorted_vals[hi]) * frac
+
+
+def percentile(sorted_vals: Sequence[float], pct: float) -> float:
+    """Linearly-interpolated percentile (``pct`` in ``[0, 100]``)."""
+    return quantile(sorted_vals, pct / 100.0)
+
+
+#: The percentile set every latency rollup reports.
+_SUMMARY_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p999", 99.9),
+)
+
+
+def percentile_summary(
+    sorted_vals: Sequence[float], digits: int = 6
+) -> Dict[str, float]:
+    """The standard p50/p95/p99/p999 summary of an ascending sequence."""
+    return {
+        name: round(percentile(sorted_vals, pct), digits)
+        for name, pct in _SUMMARY_PERCENTILES
+    }
+
+
+# ---------------------------------------------------------------------------
+# Labels
+# ---------------------------------------------------------------------------
+
+def _canonical_labels(
+    labels: Sequence[Tuple[str, object]],
+) -> Labels:
+    """Validate against the closed catalog and sort by key."""
+    out: List[Tuple[str, str]] = []
+    for key, value in labels:
+        if key not in LABEL_CATALOG:
+            raise KeyError(
+                f"metric label key {key!r} is not in the closed "
+                f"catalog {sorted(LABEL_CATALOG)}"
+            )
+        out.append((key, str(value)))
+    return tuple(sorted(out))
+
+
+def labeled_name(
+    name: str, labels: Optional[Sequence[Tuple[str, object]]]
+) -> str:
+    """The snapshot key for a (metric, labels) pair.
+
+    Labels render sorted by key — ``serve.outcomes{status=ok,tenant=b}``
+    — so every export of the same label set is byte-identical.
+    """
+    if not labels:
+        return name
+    pairs = _canonical_labels(labels)
+    rendered = ",".join(f"{k}={v}" for k, v in pairs)
+    return f"{name}{{{rendered}}}"
 
 
 class Counter:
@@ -141,7 +252,9 @@ class MetricsRegistry:
 
     # -- instruments ---------------------------------------------------
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls, labels=None):
+        if labels:
+            name = labeled_name(name, labels)
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -154,17 +267,29 @@ class MetricsRegistry:
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
-        """Create-or-get the named counter."""
-        return self._get(name, Counter)
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Sequence[Tuple[str, object]]] = None,
+    ) -> Counter:
+        """Create-or-get the named (optionally labeled) counter."""
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        """Create-or-get the named gauge."""
-        return self._get(name, Gauge)
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Sequence[Tuple[str, object]]] = None,
+    ) -> Gauge:
+        """Create-or-get the named (optionally labeled) gauge."""
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        """Create-or-get the named histogram."""
-        return self._get(name, Histogram)
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Sequence[Tuple[str, object]]] = None,
+    ) -> Histogram:
+        """Create-or-get the named (optionally labeled) histogram."""
+        return self._get(name, Histogram, labels)
 
     # -- snapshots -----------------------------------------------------
 

@@ -34,7 +34,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Tracer", "TRACER", "span", "traced"]
+__all__ = [
+    "NOOP_SPAN",
+    "NoopSpan",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "traced",
+]
 
 
 @dataclass
@@ -84,22 +92,30 @@ class Span:
         (self.tracer or TRACER)._finish(self)
 
 
-class _NoopSpan:
-    """The shared disabled-path handle: every operation is a no-op."""
+class NoopSpan:
+    """The shared disabled-path handle: every operation is a no-op.
+
+    Shared between this wall-clock tracer and the virtual-clock fleet
+    tracer (:mod:`repro.obs.fleet`): both hand out :data:`NOOP_SPAN`
+    when recording is off, so disabled instrumentation costs one
+    attribute read and no allocation.
+    """
 
     __slots__ = ()
 
     def set(self, key: str, value: Any) -> None:
-        pass
+        """Discard the attribute (disabled path)."""
 
-    def __enter__(self) -> "_NoopSpan":
+    def __enter__(self) -> "NoopSpan":
         return self
 
     def __exit__(self, *exc: Any) -> None:
         pass
 
 
-_NOOP = _NoopSpan()
+#: The process-wide shared no-op handle.
+NOOP_SPAN = NoopSpan()
+_NOOP = NOOP_SPAN
 
 
 class Tracer:

@@ -53,6 +53,7 @@ from repro.serve.policies import (
     BatchingPolicy,
     HealthPolicy,
     HedgePolicy,
+    ObservabilityPolicy,
     RetryPolicy,
     ServePolicies,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "LoadGenerator",
     "LoadSpec",
     "OUTCOME_STATUSES",
+    "ObservabilityPolicy",
     "RequestOutcome",
     "RetryPolicy",
     "ScheduleOracle",

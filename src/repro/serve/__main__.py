@@ -5,23 +5,40 @@
     python -m repro.serve run  --quick --faults quick --seed 7
     python -m repro.serve run  --requests 500 --nodes 8 \\
         --faults aggressive --summary-json out/summary.json
+    python -m repro.serve run  --quick --faults aggressive \\
+        --trace-out trace.json        # open at https://ui.perfetto.dev
     python -m repro.serve plan --faults aggressive --seed 7 --nodes 4
+    python -m repro.serve postmortem --faults aggressive --seed 3
 
 ``run`` exits 0 iff every request reached a terminal outcome
 (``lost == 0``); ``plan`` prints the fault schedule a seed would
 produce without running anything — chaos you can read before you
-unleash it.  With ``--summary-json``, two runs with the same
-arguments write byte-identical files; CI diffs them.
+unleash it.  ``postmortem`` replays a scenario with the flight
+recorder on and emits the postmortem document (eviction and
+lost-request snapshots, or a final end-of-run snapshot when the run
+was clean).  With ``--summary-json`` / ``--trace-out`` /
+``--postmortem-out``, two runs with the same arguments write
+byte-identical files; CI diffs them.
+
+A ``SIGTERM`` mid-run still produces a parseable postmortem: the
+handler aborts the event loop, snapshots the flight-recorder rings at
+the last simulated instant, force-closes any open trace spans, writes
+whatever outputs were requested, and exits ``EXIT_INTERRUPTED``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
-from typing import List, Optional, Tuple
+from dataclasses import replace
+from types import FrameType
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.export import fleet_to_perfetto, write_json_stable
+from repro.obs.fleet import FleetObserver, postmortem_document
 from repro.obs.metrics import REGISTRY
 from repro.resilience.errors import ReproError
 from repro.serve.faults import FAULT_PRESETS, FaultPlan
@@ -33,6 +50,18 @@ from repro.serve.sim import ServeSimulator, ServeSummary
 EXIT_OK = 0
 EXIT_LOST = 1
 EXIT_CONFIG = 2
+EXIT_INTERRUPTED = 3
+
+
+class _Interrupted(Exception):
+    """Raised by the SIGTERM handler to abort the event loop."""
+
+
+def _install_sigterm() -> None:
+    def handler(signum: int, frame: Optional[FrameType]) -> None:
+        raise _Interrupted()
+
+    signal.signal(signal.SIGTERM, handler)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,11 +93,29 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the byte-stable run summary here")
     run.add_argument("--metrics-json", default=None,
                      help="write the repro.obs metrics snapshot here")
+    run.add_argument("--trace-out", default=None,
+                     help="write a Perfetto trace of the run here "
+                          "(open at https://ui.perfetto.dev)")
+    run.add_argument("--postmortem-out", default=None,
+                     help="write the flight-recorder postmortem "
+                          "document here")
+    run.add_argument("--rollup-bucket", type=float, default=None,
+                     help="time-series window width in virtual "
+                          "seconds (default 0.25)")
     run.add_argument("--no-hedge", action="store_true",
                      help="disable speculative duplicates")
 
     plan = sub.add_parser("plan", help="print a seed's fault schedule")
     common(plan)
+
+    pm = sub.add_parser(
+        "postmortem",
+        help="replay a scenario and emit its postmortem document",
+    )
+    common(pm)
+    pm.add_argument("--out", default=None,
+                    help="write the postmortem document here "
+                         "(default: stdout)")
     return parser
 
 
@@ -87,26 +134,52 @@ def _scenario(
     return load, fleet, plan
 
 
+def _policies(args: argparse.Namespace) -> ServePolicies:
+    policies = ServePolicies()
+    if getattr(args, "no_hedge", False):
+        policies = replace(
+            policies, hedge=replace(policies.hedge, enabled=False)
+        )
+    bucket = getattr(args, "rollup_bucket", None)
+    if bucket is not None:
+        policies = replace(
+            policies, obs=replace(policies.obs, rollup_bucket=bucket)
+        )
+    return policies
+
+
+def _context(
+    args: argparse.Namespace, interrupted: bool
+) -> Dict[str, object]:
+    return {
+        "seed": args.seed,
+        "requests": args.requests,
+        "nodes": args.nodes,
+        "faults": args.faults,
+        "interrupted": interrupted,
+    }
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     load, fleet, plan = _scenario(args)
-    policies = ServePolicies()
-    if args.no_hedge:
-        from dataclasses import replace
-
-        policies = ServePolicies(
-            retry=policies.retry,
-            hedge=replace(policies.hedge, enabled=False),
-            admission=policies.admission,
-            batching=policies.batching,
-            health=policies.health,
-        )
+    policies = _policies(args)
     REGISTRY.enable()
     obs.enable()
+    observer = FleetObserver(
+        trace=args.trace_out is not None,
+        record=True,
+        ring=policies.obs.ring,
+    )
     sim = ServeSimulator(
         load=load, fleet_spec=fleet, policies=policies,
         plan=plan, oracle=TableOracle(), seed=args.seed,
+        observer=observer,
     )
-    summary = sim.run()
+    _install_sigterm()
+    try:
+        summary = sim.run()
+    except _Interrupted:
+        return _on_interrupt(args, sim, observer)
     _report(summary)
     if args.summary_json:
         with open(args.summary_json, "w", encoding="utf-8") as fh:
@@ -118,7 +191,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
             json.dump(snap, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"metrics: {args.metrics_json}")
+    if args.trace_out and observer.tracer is not None:
+        observer.tracer.finish(summary.makespan)
+        write_json_stable(
+            fleet_to_perfetto(observer.tracer), args.trace_out
+        )
+        print(f"trace: {args.trace_out}")
+    if args.postmortem_out:
+        write_json_stable(postmortem_document(
+            summary.postmortems, context=_context(args, False),
+        ), args.postmortem_out)
+        print(f"postmortem: {args.postmortem_out}")
     return EXIT_OK if summary.lost == 0 else EXIT_LOST
+
+
+def _on_interrupt(
+    args: argparse.Namespace,
+    sim: ServeSimulator,
+    observer: FleetObserver,
+) -> int:
+    """SIGTERM landed mid-run: dump what the recorder saw and exit."""
+    at = sim.now
+    postmortems = list(sim.postmortems)
+    if observer.recorder is not None:
+        postmortems.append(
+            observer.recorder.postmortem("sigterm", at)
+        )
+    doc = postmortem_document(
+        postmortems, context=_context(args, True)
+    )
+    if args.postmortem_out:
+        write_json_stable(doc, args.postmortem_out)
+        print(f"postmortem: {args.postmortem_out}", file=sys.stderr)
+    else:
+        json.dump(doc, sys.stdout, sort_keys=True, indent=2)
+        sys.stdout.write("\n")
+    if args.trace_out and observer.tracer is not None:
+        observer.tracer.finish(at)
+        write_json_stable(
+            fleet_to_perfetto(observer.tracer), args.trace_out
+        )
+    print(
+        f"interrupted at t={at:.6f}s with "
+        f"{len(sim.outcomes)}/{sim.total} outcomes",
+        file=sys.stderr,
+    )
+    return EXIT_INTERRUPTED
 
 
 def _report(summary: ServeSummary) -> None:
@@ -133,7 +251,8 @@ def _report(summary: ServeSummary) -> None:
     )
     print(
         f"latency_ms: p50={lat['p50']:.3f} p95={lat['p95']:.3f} "
-        f"p99={lat['p99']:.3f} max={lat['max']:.3f}"
+        f"p99={lat['p99']:.3f} p999={lat['p999']:.3f} "
+        f"max={lat['max']:.3f}"
     )
     print(
         f"recovery: retries={rec['retries']} hedges={rec['hedges']} "
@@ -146,6 +265,16 @@ def _report(summary: ServeSummary) -> None:
             f"{k}={v}" for k, v in rec["faults_fired"].items()
         )
         print(f"faults fired: {fired}")
+    for tenant, report in doc["slo"]["tenants"].items():
+        tot = report["totals"]
+        worst = max(
+            (w["burn_rate"] for w in report["windows"]), default=0.0
+        )
+        print(
+            f"slo[{tenant}]: burn={tot['burn_rate']:.3f} "
+            f"(worst window {worst:.3f}) bad={tot['bad']}/"
+            f"{tot['completed']} budget={tot['budget']:.4f}"
+        )
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -167,12 +296,50 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    load, fleet, plan = _scenario(args)
+    policies = ServePolicies()
+    observer = FleetObserver(
+        trace=False, record=True, ring=policies.obs.ring
+    )
+    sim = ServeSimulator(
+        load=load, fleet_spec=fleet, policies=policies,
+        plan=plan, oracle=TableOracle(), seed=args.seed,
+        observer=observer,
+    )
+    _install_sigterm()
+    try:
+        summary = sim.run()
+    except _Interrupted:
+        args.postmortem_out = args.out
+        args.trace_out = None
+        return _on_interrupt(args, sim, observer)
+    postmortems = list(summary.postmortems)
+    if not postmortems and observer.recorder is not None:
+        # A clean run still yields a document: the final ring state.
+        postmortems.append(observer.recorder.postmortem(
+            "end-of-run", summary.makespan,
+        ))
+    doc = postmortem_document(
+        postmortems, context=_context(args, False)
+    )
+    if args.out:
+        write_json_stable(doc, args.out)
+        print(f"postmortem: {args.out}")
+    else:
+        json.dump(doc, sys.stdout, sort_keys=True, indent=2)
+        sys.stdout.write("\n")
+    return EXIT_OK if summary.lost == 0 else EXIT_LOST
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "postmortem":
+            return _cmd_postmortem(args)
         return _cmd_plan(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

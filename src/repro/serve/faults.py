@@ -76,6 +76,17 @@ class FaultEvent:
         if self.at < 0:
             raise ConfigError("at", self.at, "must be >= 0")
 
+    @property
+    def tag(self) -> str:
+        """A stable human-readable id for this fault generation.
+
+        Retry/backoff child spans and flight-recorder entries caused by
+        this fault carry the tag, so a trace viewer can walk from a slow
+        request back to the injected fault that made it slow.
+        """
+        target = self.node or self.workload
+        return f"{self.kind}@{self.at:.6f}" + (f":{target}" if target else "")
+
     def as_doc(self) -> Dict[str, Any]:
         """JSON form (also embedded in the run summary)."""
         return {

@@ -310,6 +310,10 @@ class Fleet:
             self.evictions += 1
             if _METRICS.enabled:
                 _METRICS.counter("serve.evictions").inc()
+                _METRICS.counter(
+                    "serve.node_events",
+                    labels=(("node", node.name), ("kind", "evict")),
+                ).inc()
 
     def rejoin(self, node: AcceleratorNode, now: float) -> None:
         """A revived node returns to the placement pool."""
@@ -321,3 +325,7 @@ class Fleet:
             self.rejoins += 1
             if _METRICS.enabled:
                 _METRICS.counter("serve.rejoins").inc()
+                _METRICS.counter(
+                    "serve.node_events",
+                    labels=(("node", node.name), ("kind", "rejoin")),
+                ).inc()

@@ -37,12 +37,20 @@ class TenantSpec:
         workloads: workload-name → weight mix this tenant submits.
         priority: shedding rank (larger = survives overload longer).
         share: relative fraction of total traffic this tenant drives.
+        slo_p95_ms: latency objective in milliseconds — a request
+            slower than this counts against the tenant's error budget
+            (0.0 disables the latency objective).
+        slo_availability: availability objective as a fraction in
+            ``(0, 1)``; ``1 - slo_availability`` is the error budget
+            the ``serve.slo`` burn-rate figures are computed against.
     """
 
     name: str
     workloads: Tuple[Tuple[str, float], ...] = (("bootstrapping", 1.0),)
     priority: int = 1
     share: float = 1.0
+    slo_p95_ms: float = 0.0
+    slo_availability: float = 0.99
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -57,6 +65,15 @@ class TenantSpec:
             )
         if self.share <= 0:
             raise ConfigError("share", self.share, "must be > 0")
+        if self.slo_p95_ms < 0:
+            raise ConfigError(
+                "slo_p95_ms", self.slo_p95_ms, "must be >= 0"
+            )
+        if not 0.0 < self.slo_availability < 1.0:
+            raise ConfigError(
+                "slo_availability", self.slo_availability,
+                "must be a fraction in (0, 1)",
+            )
 
     def as_doc(self) -> Dict[str, object]:
         """JSON form embedded in the run summary."""
@@ -65,6 +82,10 @@ class TenantSpec:
             "workloads": [[w, wt] for w, wt in self.workloads],
             "priority": self.priority,
             "share": self.share,
+            "slo": {
+                "p95_ms": self.slo_p95_ms,
+                "availability": self.slo_availability,
+            },
         }
 
 
@@ -77,18 +98,23 @@ DEFAULT_TENANTS: Tuple[TenantSpec, ...] = (
         workloads=(("helr", 3.0), ("bootstrapping", 1.0)),
         priority=3,
         share=0.45,
+        slo_p95_ms=100.0,
+        slo_availability=0.999,
     ),
     TenantSpec(
         name="batch",
         workloads=(("resnet20", 1.0),),
         priority=2,
         share=0.30,
+        slo_p95_ms=1500.0,
+        slo_availability=0.99,
     ),
     TenantSpec(
         name="background",
         workloads=(("bootstrapping", 1.0),),
         priority=1,
         share=0.25,
+        slo_availability=0.95,
     ),
 )
 

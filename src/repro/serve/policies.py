@@ -25,6 +25,7 @@ __all__ = [
     "BatchingPolicy",
     "HealthPolicy",
     "HedgePolicy",
+    "ObservabilityPolicy",
     "RetryPolicy",
     "ServePolicies",
 ]
@@ -185,6 +186,33 @@ class HealthPolicy:
 
 
 @dataclass(frozen=True)
+class ObservabilityPolicy:
+    """How the run is observed (never how it behaves).
+
+    ``rollup_bucket`` is the time-series window width in **virtual
+    seconds** — summary rollups and SLO burn rates are computed per
+    bucket.  ``ring`` bounds the flight recorder's per-node event
+    ring.  Changing either changes telemetry shape only; the request
+    outcomes are identical.
+    """
+
+    rollup_bucket: float = 0.25
+    ring: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rollup_bucket <= 0:
+            raise ConfigError(
+                "rollup_bucket", self.rollup_bucket, "must be > 0"
+            )
+        if self.ring < 1:
+            raise ConfigError("ring", self.ring, "must be >= 1")
+
+    def as_doc(self) -> Dict[str, Any]:
+        """JSON form embedded in the run summary."""
+        return {"rollup_bucket": self.rollup_bucket, "ring": self.ring}
+
+
+@dataclass(frozen=True)
 class ServePolicies:
     """The full policy bundle one simulation runs under."""
 
@@ -193,6 +221,7 @@ class ServePolicies:
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     batching: BatchingPolicy = field(default_factory=BatchingPolicy)
     health: HealthPolicy = field(default_factory=HealthPolicy)
+    obs: ObservabilityPolicy = field(default_factory=ObservabilityPolicy)
 
     def as_doc(self) -> Dict[str, Any]:
         """JSON form embedded in the run summary."""
@@ -202,4 +231,5 @@ class ServePolicies:
             "admission": self.admission.as_doc(),
             "batching": self.batching.as_doc(),
             "health": self.health.as_doc(),
+            "obs": self.obs.as_doc(),
         }

@@ -60,13 +60,17 @@ class RequestOutcome:
     """The terminal record of one request.
 
     ``latency`` is simulated seconds from arrival to completion (only
-    meaningful for ``ok``); ``attempts`` counts dispatches including
-    the first; ``hedged``/``hedge_won`` record speculative execution.
+    meaningful for ``ok``); ``arrival`` is the submission instant, so
+    ``arrival + latency`` is the completion instant — the time-series
+    rollups and SLO burn windows bin on it; ``attempts`` counts
+    dispatches including the first; ``hedged``/``hedge_won`` record
+    speculative execution.
     """
 
     request_id: str
     status: str
     latency: float = 0.0
+    arrival: float = 0.0
     attempts: int = 0
     hedged: bool = False
     hedge_won: bool = False
@@ -87,6 +91,7 @@ class RequestOutcome:
         return {
             "status": self.status,
             "latency_ms": round(self.latency * 1e3, 6),
+            "arrival": round(self.arrival, 9),
             "attempts": self.attempts,
             "hedged": self.hedged,
             "hedge_won": self.hedge_won,

@@ -29,12 +29,20 @@ from __future__ import annotations
 
 import heapq
 import json
-import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.fleet import (
+    FleetObserver,
+    FleetTracer,
+    FlightRecorder,
+    RequestRecord,
+    rollup_timeseries,
+    slo_report,
+)
 from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.metrics import percentile, percentile_summary
 from repro.serve.faults import FaultEvent, FaultPlan
 from repro.serve.fleet import (
     AcceleratorNode,
@@ -61,14 +69,6 @@ __all__ = ["ServeSimulator", "ServeSummary"]
 _TRANSIENT_FAIL_FRACTION = 0.1
 
 
-def _percentile(sorted_vals: List[float], pct: float) -> float:
-    """Nearest-rank percentile over an ascending list."""
-    if not sorted_vals:
-        return 0.0
-    rank = max(1, math.ceil(pct / 100.0 * len(sorted_vals)))
-    return sorted_vals[min(rank, len(sorted_vals)) - 1]
-
-
 @dataclass
 class ServeSummary:
     """Everything one run produced, in byte-stable JSON form."""
@@ -90,6 +90,12 @@ class ServeSummary:
     queue_depth_peak: int = 0
     faults_fired: Dict[str, int] = field(default_factory=dict)
     makespan: float = 0.0
+    depth_samples: List[Tuple[float, int]] = field(default_factory=list)
+    rollup_bucket: float = 0.25
+    #: Times a postmortem condition fired (deterministic, counted even
+    #: with the flight recorder off — telemetry never changes bytes).
+    postmortem_triggers: int = 0
+    postmortems: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- derived -------------------------------------------------------
 
@@ -111,6 +117,31 @@ class ServeSummary:
             o.latency for o in self.outcomes.values() if o.status == "ok"
         )
 
+    def records(self) -> List[RequestRecord]:
+        """Rollup records (rid-ordered) the time-series bins over."""
+        return [
+            RequestRecord(
+                tenant=out.tenant,
+                arrival=out.arrival,
+                completion=out.arrival + out.latency,
+                status=out.status,
+                latency_ms=out.latency * 1e3,
+            )
+            for _, out in sorted(self.outcomes.items())
+        ]
+
+    def objectives(self) -> Dict[str, Tuple[float, float]]:
+        """Tenant → ``(p95_ms, availability)`` SLOs from the load doc."""
+        out: Dict[str, Tuple[float, float]] = {}
+        for tenant in self.load_doc.get("tenants", []):
+            slo = tenant.get("slo")
+            if isinstance(slo, dict):
+                out[str(tenant.get("name", ""))] = (
+                    float(slo.get("p95_ms", 0.0)),
+                    float(slo.get("availability", 0.99)),
+                )
+        return out
+
     def to_doc(self) -> Dict[str, Any]:
         """The canonical summary document (stable key order via JSON)."""
         lats = self.ok_latencies()
@@ -129,11 +160,15 @@ class ServeSummary:
                 "shed": roll["shed"],
                 "failed": roll["failed"],
                 "p95_ms": round(
-                    _percentile(sorted(roll["lat"]), 95.0) * 1e3, 6
+                    percentile(sorted(roll["lat"]), 95.0) * 1e3, 6
                 ),
             }
             for name, roll in tenants.items()
         }
+        records = self.records()
+        latency_doc: Dict[str, Any] = dict(percentile_summary(ms))
+        latency_doc["mean"] = round(sum(ms) / len(ms), 6) if ms else 0.0
+        latency_doc["max"] = ms[-1] if ms else 0.0
         return {
             "seed": self.seed,
             "load": self.load_doc,
@@ -148,13 +183,7 @@ class ServeSummary:
                 "failed": self.count("failed"),
                 "lost": self.lost,
             },
-            "latency_ms": {
-                "p50": _percentile(ms, 50.0),
-                "p95": _percentile(ms, 95.0),
-                "p99": _percentile(ms, 99.0),
-                "mean": round(sum(ms) / len(ms), 6) if ms else 0.0,
-                "max": ms[-1] if ms else 0.0,
-            },
+            "latency_ms": latency_doc,
             "recovery": {
                 "retries": self.retries,
                 "hedges": self.hedges,
@@ -165,8 +194,17 @@ class ServeSummary:
                 "batches": self.batches,
                 "queue_depth_peak": self.queue_depth_peak,
                 "faults_fired": dict(sorted(self.faults_fired.items())),
+                "postmortems": self.postmortem_triggers,
             },
             "tenants": dict(sorted(tenant_doc.items())),
+            "timeseries": rollup_timeseries(
+                records, self.depth_samples,
+                self.rollup_bucket, self.makespan,
+            ),
+            "slo": slo_report(
+                records, self.objectives(),
+                self.rollup_bucket, self.makespan,
+            ),
             "outcomes": {
                 rid: self.outcomes[rid].as_doc()
                 for rid in sorted(self.outcomes)
@@ -190,6 +228,7 @@ class ServeSimulator:
         plan: Optional[FaultPlan] = None,
         oracle: Optional[ScheduleOracle] = None,
         seed: int = 0,
+        observer: Optional[FleetObserver] = None,
     ):
         self.load = load
         self.fleet_spec = fleet_spec
@@ -214,6 +253,23 @@ class ServeSimulator:
         self.batches_dispatched = 0
         self.faults_fired: Dict[str, int] = {}
         self.makespan = 0.0
+        #: Last simulated instant the event loop reached — the anchor
+        #: for a SIGTERM postmortem taken mid-run.
+        self.now = 0.0
+        self.postmortem_triggers = 0
+        self.postmortems: List[Dict[str, Any]] = []
+
+        # The observer's components are held directly so every hook is
+        # one ``is None`` test when telemetry is off (near-zero cost).
+        self._ftr: Optional[FleetTracer] = (
+            observer.tracer if observer is not None else None
+        )
+        self._frec: Optional[FlightRecorder] = (
+            observer.recorder if observer is not None else None
+        )
+        # Queue-depth samples feed the summary's time-series rollups;
+        # always on (two tuple appends per request, worst case).
+        self._depth_samples: List[Tuple[float, int]] = []
 
         self._heap: List[Tuple[float, int, str, Any]] = []
         self._seq = 0
@@ -245,7 +301,16 @@ class ServeSimulator:
         if outcome.request_id in self.outcomes:
             return
         self.outcomes[outcome.request_id] = outcome
+        if self._ftr is not None:
+            self._ftr.end_request(
+                outcome.request_id,
+                outcome.arrival + outcome.latency,
+                outcome.status,
+            )
         if _METRICS.enabled:
+            _METRICS.counter("serve.outcomes", labels=(
+                ("status", outcome.status), ("tenant", outcome.tenant),
+            )).inc()
             if outcome.status == "shed":
                 _METRICS.counter("serve.shed").inc()
             elif outcome.status == "failed":
@@ -256,18 +321,28 @@ class ServeSimulator:
                 )
 
     def _fail(self, req: ServeRequest, now: float, error: str) -> None:
+        if self._frec is not None:
+            self._frec.record(
+                "", now, "failed", f"{req.request_id} {error}"
+            )
         self._record(RequestOutcome(
             request_id=req.request_id, status="failed",
-            latency=now - req.arrival,
+            latency=now - req.arrival, arrival=req.arrival,
             attempts=self.attempts[req.request_id],
             hedged=self.hedged.get(req.request_id, False),
             tenant=req.tenant, workload=req.workload, error=error,
         ))
 
     def _shed(self, req: ServeRequest, now: float) -> None:
+        if self._frec is not None:
+            self._frec.record(
+                "", now, "shed",
+                f"{req.request_id} tenant={req.tenant} "
+                f"depth={self.queue.depth}",
+            )
         self._record(RequestOutcome(
             request_id=req.request_id, status="shed",
-            latency=now - req.arrival,
+            latency=now - req.arrival, arrival=req.arrival,
             attempts=self.attempts[req.request_id],
             tenant=req.tenant, workload=req.workload,
             error="queue-depth",
@@ -307,6 +382,7 @@ class ServeSimulator:
         }
         while self._heap and not self._done():
             now, _, kind, payload = heapq.heappop(self._heap)
+            self.now = now
             handlers[kind](now, payload)
         # Anything still outcome-less when the heap drains is a lost
         # request — the summary's `lost` count surfaces it (CI fails).
@@ -314,7 +390,15 @@ class ServeSimulator:
     # -- handlers ------------------------------------------------------
 
     def _on_arrival(self, now: float, req: ServeRequest) -> None:
+        if self._ftr is not None:
+            self._ftr.begin_request(
+                req.request_id, req.tenant, req.workload, now
+            )
+            self._ftr.begin_phase(
+                req.request_id, "queue", now, lane=req.workload
+            )
         victim = self.queue.admit(req)
+        self._depth_samples.append((now, self.queue.depth))
         if victim is not None:
             self._shed(victim, now)
             if victim.request_id == req.request_id:
@@ -384,6 +468,31 @@ class ServeSimulator:
         self.batches_dispatched += 1
         if _METRICS.enabled:
             _METRICS.counter("serve.batches").inc()
+        if self._frec is not None:
+            self._frec.record(
+                node.name, now, "dispatch",
+                f"batch{batch.batch_id} x{len(reqs)} {workload}"
+                + (" hedge" if is_hedge else "")
+                + (" fail-fast" if failed_fast else ""),
+            )
+        if self._ftr is not None:
+            self._ftr.batch(
+                batch.batch_id, node.name,
+                f"{workload} x{len(reqs)}", start, duration,
+                workload=workload, size=len(reqs), hedge=is_hedge,
+                failed_fast=failed_fast,
+            )
+            phase = "hedge" if is_hedge else "service"
+            for req in reqs:
+                if not is_hedge:
+                    self._ftr.end_phase(
+                        req.request_id, "queue", now, node=node.name
+                    )
+                self._ftr.begin_phase(
+                    req.request_id, phase, now,
+                    node=node.name, batch=batch.batch_id,
+                    attempt=self.attempts[req.request_id],
+                )
         self._push(
             start + duration, "complete",
             (batch.batch_id, failed_fast),
@@ -419,8 +528,19 @@ class ServeSimulator:
         rival = self._batches.get(rival_id) if rival_id else None
 
         if failed_fast:
+            tag = f"transient:{batch.node}"
+            if self._frec is not None:
+                self._frec.record(
+                    batch.node, now, "transient",
+                    f"batch{batch_id} {batch.workload}",
+                )
             for req in batch.requests:
-                self._retry_or_fail(req, now, error="transient")
+                if self._ftr is not None:
+                    self._ftr.end_phase(
+                        req.request_id, "service", now,
+                        error="transient", fault=tag,
+                    )
+                self._retry_or_fail(req, now, error="transient", tag=tag)
             return
 
         hedge_scored = False
@@ -430,7 +550,7 @@ class ServeSimulator:
             was_hedged = self.hedged.get(req.request_id, False)
             self._record(RequestOutcome(
                 request_id=req.request_id, status="ok",
-                latency=now - req.arrival,
+                latency=now - req.arrival, arrival=req.arrival,
                 attempts=self.attempts[req.request_id],
                 hedged=was_hedged,
                 hedge_won=batch.is_hedge,
@@ -447,6 +567,10 @@ class ServeSimulator:
                 _METRICS.counter("serve.hedge_wins").inc()
         if rival is not None and not rival.cancelled:
             rival.cancelled = True
+            if self._ftr is not None:
+                self._ftr.mark_batch(
+                    rival.batch_id, cancelled=True, lost_race=True
+                )
 
     def _on_hedge(self, now: float, batch_id: int) -> None:
         batch = self._batches.get(batch_id)
@@ -471,13 +595,18 @@ class ServeSimulator:
         self.hedges += 1
         if _METRICS.enabled:
             _METRICS.counter("serve.hedges").inc()
+        if self._frec is not None:
+            self._frec.record(
+                batch.node, now, "hedge",
+                f"batch{batch_id} straggling; duplicate -> {node.name}",
+            )
         self._dispatch(
             now, pending, batch.workload, node=node,
             is_hedge=True, rival_id=batch_id,
         )
 
     def _retry_or_fail(
-        self, req: ServeRequest, now: float, error: str
+        self, req: ServeRequest, now: float, error: str, tag: str = ""
     ) -> None:
         if req.request_id in self.outcomes:
             return
@@ -492,16 +621,38 @@ class ServeSimulator:
         self.retries += 1
         if _METRICS.enabled:
             _METRICS.counter("serve.retries").inc()
+        if self._ftr is not None:
+            self._ftr.closed_phase(
+                req.request_id, "backoff", now, now + delay,
+                attempt=attempts, error=error,
+                **({"fault": tag} if tag else {}),
+            )
+        if self._frec is not None:
+            self._frec.record(
+                "", now, "retry",
+                f"{req.request_id} attempt={attempts} {error}"
+                + (f" fault={tag}" if tag else ""),
+            )
         self._push(now + delay, "retry", req)
 
     def _on_retry(self, now: float, req: ServeRequest) -> None:
         if req.request_id in self.outcomes:
             return
+        if self._ftr is not None:
+            self._ftr.begin_phase(
+                req.request_id, "queue", now,
+                lane=req.workload, readmitted=True,
+            )
         self.queue.admit(req, requeue=True)
+        self._depth_samples.append((now, self.queue.depth))
         self._schedule_flush(now, req.workload)
 
     def _on_fault(self, now: float, event: FaultEvent) -> None:
         self._count_fault(event.kind)
+        if self._frec is not None:
+            self._frec.record(
+                event.node, now, f"fault:{event.kind}", event.tag
+            )
         if event.kind == "crash":
             self._crash(now, event)
         elif event.kind == "straggler":
@@ -531,14 +682,19 @@ class ServeSimulator:
         # In-flight work dies with the node; its requests become
         # orphans that the *health checker* discovers — recovery pays
         # the detection latency, it is not free at crash time.
+        gen = self._crash_gen.get(event.node, 0) + 1
+        self._crash_gen[event.node] = gen
         for batch in node.inflight:
             batch.cancelled = True
+            if self._ftr is not None:
+                self._ftr.mark_batch(
+                    batch.batch_id, truncate_at=now,
+                    cancelled=True, fault=event.tag,
+                )
             for req in batch.requests:
                 node.orphans.append(req)
         node.inflight = []
         node.busy_until = now
-        gen = self._crash_gen.get(event.node, 0) + 1
-        self._crash_gen[event.node] = gen
         self._push(
             now + event.duration, "revive", ("crash", event.node, gen),
         )
@@ -551,17 +707,36 @@ class ServeSimulator:
         if kind == "straggler":
             if self._straggle_gen.get(name) == gen:
                 node.straggler_factor = 1.0
+                if self._frec is not None:
+                    self._frec.record(
+                        name, now, "revive", f"straggler#g{gen} over"
+                    )
             return
         if self._crash_gen.get(name) != gen:
             return
+        if self._frec is not None:
+            self._frec.record(name, now, "revive", f"crash#g{gen} over")
         self._drain_orphans(node, now)
         self.fleet.rejoin(node, now)
         self._pump(now)
 
     def _drain_orphans(self, node: AcceleratorNode, now: float) -> None:
         orphans, node.orphans = node.orphans, []
+        if not orphans:
+            return
+        tag = f"crash:{node.name}#g{self._crash_gen.get(node.name, 0)}"
+        if self._frec is not None:
+            self._frec.record(
+                node.name, now, "orphan-drain",
+                f"{len(orphans)} requests fault={tag}",
+            )
         for req in orphans:
-            self._retry_or_fail(req, now, error="crash")
+            if self._ftr is not None:
+                self._ftr.end_phase(
+                    req.request_id, "service", now,
+                    error="crash", fault=tag,
+                )
+            self._retry_or_fail(req, now, error="crash", tag=tag)
 
     def _pump(self, now: float) -> None:
         """Re-flush every waiting lane (capacity may have returned)."""
@@ -575,9 +750,24 @@ class ServeSimulator:
             if node.state != DOWN:
                 continue
             node.health_misses += 1
+            if self._frec is not None:
+                self._frec.record(
+                    node.name, now, "health-miss",
+                    f"misses={node.health_misses}",
+                )
             self._drain_orphans(node, now)
             if node.health_misses >= health.evict_after:
                 self.fleet.evict(node)
+                self.postmortem_triggers += 1
+                if self._frec is not None:
+                    self._frec.record(
+                        node.name, now, "evict",
+                        f"misses={node.health_misses}",
+                    )
+                    self.postmortems.append(self._frec.postmortem(
+                        f"health-eviction:{node.name}", now,
+                        node=node.name,
+                    ))
         self._pump(now)
         if not self._done():
             self._push(now + health.check_interval, "health", None)
@@ -596,6 +786,13 @@ class ServeSimulator:
             _METRICS.gauge("serve.queue_depth_peak").set(
                 self.queue.peak_depth
             )
+        lost = self.total - len(self.outcomes)
+        if lost > 0:
+            self.postmortem_triggers += 1
+            if self._frec is not None:
+                self.postmortems.append(self._frec.postmortem(
+                    f"lost-requests:{lost}", self.makespan,
+                ))
         return ServeSummary(
             seed=self.seed,
             load_doc=self.load.as_doc(),
@@ -614,4 +811,8 @@ class ServeSimulator:
             queue_depth_peak=self.queue.peak_depth,
             faults_fired=self.faults_fired,
             makespan=self.makespan,
+            depth_samples=self._depth_samples,
+            rollup_bucket=self.policies.obs.rollup_bucket,
+            postmortem_triggers=self.postmortem_triggers,
+            postmortems=self.postmortems,
         )

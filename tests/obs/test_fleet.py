@@ -1,0 +1,243 @@
+"""The virtual-clock observability plane: spans, rollups, SLOs, rings."""
+
+import json
+
+import pytest
+
+from repro.obs.export import fleet_to_perfetto
+from repro.obs.fleet import (
+    FleetObserver,
+    FleetTracer,
+    FlightRecorder,
+    RequestRecord,
+    postmortem_document,
+    rollup_timeseries,
+    slo_report,
+)
+
+
+def _ok(tenant, arrival, latency_ms, status="ok"):
+    return RequestRecord(
+        tenant=tenant, arrival=arrival,
+        completion=arrival + latency_ms / 1e3,
+        status=status, latency_ms=latency_ms,
+    )
+
+
+class TestTracer:
+    def test_request_tree_collects_phases(self):
+        tr = FleetTracer()
+        tr.begin_request("r0", "batch", "resnet20", 0.1)
+        tr.begin_phase("r0", "queue", 0.1, lane="resnet20")
+        tr.end_phase("r0", "queue", 0.2, node="acc0")
+        tr.begin_phase("r0", "service", 0.2, node="acc0", batch=1)
+        tr.end_request("r0", 0.5, "ok")
+        doc = tr.to_doc()["requests"]["r0"]
+        assert doc["attrs"]["status"] == "ok"
+        assert [c["kind"] for c in doc["children"]] == ["queue", "service"]
+        # end_request closes the still-open service phase at the end.
+        assert doc["children"][1]["duration"] == pytest.approx(0.3)
+
+    def test_closed_phase_attaches_backoff_window(self):
+        tr = FleetTracer()
+        tr.begin_request("r0", "t", "w", 0.0)
+        tr.closed_phase("r0", "backoff", 1.0, 1.25, fault="crash:acc1#g1")
+        tr.end_request("r0", 2.0, "ok")
+        child = tr.to_doc()["requests"]["r0"]["children"][0]
+        assert child["kind"] == "backoff"
+        assert child["duration"] == pytest.approx(0.25)
+        assert child["attrs"]["fault"] == "crash:acc1#g1"
+
+    def test_unknown_request_is_ignored(self):
+        tr = FleetTracer()
+        tr.begin_phase("ghost", "queue", 0.0)
+        tr.end_phase("ghost", "queue", 1.0)
+        tr.end_request("ghost", 1.0, "ok")
+        assert tr.to_doc()["requests"] == {}
+
+    def test_batch_truncation_clips_the_slice(self):
+        tr = FleetTracer()
+        tr.batch(1, "acc0", "resnet20 x2", 0.0, 1.0, workload="resnet20")
+        tr.mark_batch(1, truncate_at=0.4, cancelled=True, fault="crash")
+        doc = tr.to_doc()["batches"][0]
+        assert doc["duration"] == pytest.approx(0.4)
+        assert doc["attrs"]["cancelled"] is True
+
+    def test_finish_closes_leftovers_with_interrupted_tag(self):
+        tr = FleetTracer()
+        tr.begin_request("r0", "t", "w", 0.0)
+        tr.begin_phase("r0", "service", 0.1, node="acc0")
+        closed = tr.finish(0.7)
+        assert closed == 2  # the open phase and the root
+        doc = tr.to_doc()["requests"]["r0"]
+        assert doc["attrs"]["interrupted"] is True
+        assert doc["duration"] == pytest.approx(0.7)
+
+    def test_finish_on_clean_tracer_is_zero(self):
+        tr = FleetTracer()
+        tr.begin_request("r0", "t", "w", 0.0)
+        tr.end_request("r0", 1.0, "ok")
+        assert tr.finish(2.0) == 0
+
+
+class TestPerfettoExport:
+    def _tracer(self):
+        tr = FleetTracer()
+        tr.batch(1, "acc0", "w x1", 0.0, 0.1, workload="w", size=1)
+        tr.batch(2, "acc1", "w x1", 0.2, 0.1, workload="w", size=1)
+        tr.begin_request("r0", "t", "w", 0.0)
+        tr.begin_phase("r0", "service", 0.0, node="acc0", batch=1)
+        tr.end_phase("r0", "service", 0.1, error="crash")
+        tr.begin_phase("r0", "service", 0.2, node="acc1", batch=2)
+        tr.end_request("r0", 0.3, "ok")
+        return tr
+
+    def test_tracks_spans_and_flows(self):
+        doc = fleet_to_perfetto(self._tracer())
+        events = doc["traceEvents"]
+        thread_names = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert thread_names == ["node acc0", "node acc1"]
+        assert sum(1 for e in events if e["ph"] == "X") == 2
+        # Root + two service phases open and close.
+        assert sum(1 for e in events if e["ph"] == "b") == 3
+        assert sum(1 for e in events if e["ph"] == "e") == 3
+        # The flow threads both service attempts and terminates.
+        flow_phs = [e["ph"] for e in events if e.get("cat") == "flow"]
+        assert flow_phs == ["s", "t", "f"]
+
+    def test_export_is_deterministic(self):
+        a = json.dumps(fleet_to_perfetto(self._tracer()), sort_keys=True)
+        b = json.dumps(fleet_to_perfetto(self._tracer()), sort_keys=True)
+        assert a == b
+
+
+class TestRollups:
+    def test_windows_cover_the_horizon(self):
+        doc = rollup_timeseries([], [], bucket=0.25, end=1.0)
+        assert len(doc["windows"]) == 4
+        assert [w["t0"] for w in doc["windows"]] == [0.0, 0.25, 0.5, 0.75]
+
+    def test_empty_run_has_one_window(self):
+        doc = rollup_timeseries([], [], bucket=0.25, end=0.0)
+        assert len(doc["windows"]) == 1
+
+    def test_counts_bin_by_completion(self):
+        records = [
+            _ok("t", 0.1, 50.0),            # completes in window 0
+            _ok("t", 0.1, 500.0),           # completes in window 2
+            _ok("t", 0.9, 50.0, "failed"),  # window 3
+        ]
+        doc = rollup_timeseries(records, [], bucket=0.25, end=1.0)
+        ok = [w["ok"] for w in doc["windows"]]
+        assert ok == [1, 0, 1, 0]
+        assert doc["windows"][3]["failed"] == 1
+        arrivals = [w["arrivals"] for w in doc["windows"]]
+        assert arrivals == [2, 0, 0, 1]
+
+    def test_queue_depth_is_windowed_max(self):
+        samples = [(0.05, 3), (0.1, 7), (0.3, 2)]
+        doc = rollup_timeseries([], samples, bucket=0.25, end=0.5)
+        assert doc["windows"][0]["queue_depth_max"] == 7
+        assert doc["windows"][1]["queue_depth_max"] == 2
+
+    def test_late_completion_lands_in_last_window(self):
+        records = [_ok("t", 0.1, 2000.0)]  # completes past `end`
+        doc = rollup_timeseries(records, [], bucket=0.25, end=1.0)
+        assert doc["windows"][-1]["ok"] == 1
+
+
+class TestSloReport:
+    OBJECTIVES = {"gold": (100.0, 0.999), "lax": (0.0, 0.9)}
+
+    def test_clean_run_burns_nothing(self):
+        records = [_ok("gold", 0.0, 50.0) for _ in range(10)]
+        doc = slo_report(records, self.OBJECTIVES, 0.25, 0.25)
+        totals = doc["tenants"]["gold"]["totals"]
+        assert totals["bad"] == 0
+        assert totals["burn_rate"] == 0.0
+
+    def test_latency_objective_marks_slow_requests_bad(self):
+        records = [_ok("gold", 0.0, 50.0), _ok("gold", 0.0, 150.0)]
+        doc = slo_report(records, self.OBJECTIVES, 0.25, 0.25)
+        totals = doc["tenants"]["gold"]["totals"]
+        assert totals["bad"] == 1
+        # error rate 0.5 over budget 0.001 -> burn 500.
+        assert totals["burn_rate"] == pytest.approx(500.0)
+
+    def test_zero_latency_objective_gates_on_status_only(self):
+        records = [
+            _ok("lax", 0.0, 9000.0),
+            _ok("lax", 0.0, 10.0, "failed"),
+        ]
+        doc = slo_report(records, self.OBJECTIVES, 0.25, 0.25)
+        assert doc["tenants"]["lax"]["totals"]["bad"] == 1
+
+    def test_burn_is_per_window(self):
+        records = [
+            _ok("gold", 0.0, 50.0),    # window 0: fine
+            _ok("gold", 0.3, 150.0),   # window 1: bad
+        ]
+        doc = slo_report(records, self.OBJECTIVES, 0.25, 0.5)
+        windows = doc["tenants"]["gold"]["windows"]
+        assert windows[0]["burn_rate"] == 0.0
+        assert windows[1]["burn_rate"] == pytest.approx(1000.0)
+
+    def test_unknown_tenant_records_are_ignored(self):
+        records = [_ok("mystery", 0.0, 50.0)]
+        doc = slo_report(records, self.OBJECTIVES, 0.25, 0.25)
+        assert doc["tenants"]["gold"]["totals"]["completed"] == 0
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_ordered(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("acc0", i * 0.1, "dispatch", f"batch{i}")
+        ring = rec.rings_doc()["acc0"]
+        assert len(ring) == 4
+        seqs = [e["seq"] for e in ring]
+        assert seqs == sorted(seqs)
+        assert ring[-1]["detail"] == "batch9"
+
+    def test_sequence_is_global_across_rings(self):
+        rec = FlightRecorder()
+        rec.record("acc0", 0.0, "a")
+        rec.record("acc1", 0.1, "b")
+        rec.record("", 0.2, "c")
+        doc = rec.rings_doc()
+        assert sorted(doc) == ["acc0", "acc1", "fleet"]
+        assert doc["acc1"][0]["seq"] == 2
+
+    def test_postmortem_snapshots_every_ring(self):
+        rec = FlightRecorder()
+        rec.record("acc0", 0.5, "crash", "boom")
+        pm = rec.postmortem("health-eviction:acc0", 1.0, node="acc0")
+        assert pm["reason"] == "health-eviction:acc0"
+        assert pm["node"] == "acc0"
+        assert pm["rings"]["acc0"][0]["kind"] == "crash"
+
+    def test_document_envelope(self):
+        rec = FlightRecorder()
+        doc = postmortem_document(
+            [rec.postmortem("lost-requests:1", 2.0)],
+            context={"seed": 3},
+        )
+        assert doc["kind"] == "repro-postmortem"
+        assert doc["context"]["seed"] == 3
+        assert len(doc["postmortems"]) == 1
+        json.dumps(doc)  # serializable
+
+
+class TestObserver:
+    def test_default_bundle_records_but_does_not_trace(self):
+        observer = FleetObserver()
+        assert observer.tracer is None
+        assert observer.recorder is not None
+
+    def test_trace_flag_allocates_the_tracer(self):
+        observer = FleetObserver(trace=True, record=False, ring=8)
+        assert observer.tracer is not None
+        assert observer.recorder is None

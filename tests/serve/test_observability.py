@@ -1,0 +1,179 @@
+"""End-to-end fleet observability: traces, rollups, SLOs, postmortems."""
+
+import json
+
+import pytest
+
+from repro.obs.export import fleet_to_perfetto
+from repro.obs.fleet import FleetObserver
+from repro.serve.faults import FaultPlan
+from repro.serve.fleet import FleetSpec
+from repro.serve.loadgen import LoadSpec
+from repro.serve.sim import ServeSimulator
+
+
+def _chaos_sim(seed=3, observer=None):
+    load = LoadSpec(requests=200, horizon=2.0)
+    fleet = FleetSpec(nodes=4)
+    plan = FaultPlan.preset(
+        "aggressive", seed=seed, horizon=2.0,
+        nodes=[n.name for n in fleet.build()],
+        workloads=tuple(load.workloads()),
+    )
+    return ServeSimulator(
+        load=load, fleet_spec=fleet, plan=plan, seed=seed,
+        observer=observer,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    observer = FleetObserver(trace=True, record=True)
+    sim = _chaos_sim(observer=observer)
+    summary = sim.run()
+    observer.tracer.finish(summary.makespan)
+    return summary, observer
+
+
+class TestSpanTrees:
+    def test_every_request_has_a_closed_tree(self, traced_run):
+        summary, observer = traced_run
+        doc = observer.tracer.to_doc()
+        assert len(doc["requests"]) == 200
+        for rid, tree in doc["requests"].items():
+            assert tree["attrs"]["status"] in ("ok", "shed", "failed")
+            assert "interrupted" not in tree["attrs"]
+
+    def test_retries_appear_as_backoff_children(self, traced_run):
+        summary, observer = traced_run
+        assert summary.retries > 0
+        doc = observer.tracer.to_doc()
+        backoffs = [
+            c
+            for tree in doc["requests"].values()
+            for c in tree["children"]
+            if c["kind"] == "backoff"
+        ]
+        assert len(backoffs) == summary.retries
+        # Every backoff child names the fault generation behind it.
+        assert all("fault" in b["attrs"] for b in backoffs)
+
+    def test_hedges_appear_as_hedge_children(self, traced_run):
+        summary, observer = traced_run
+        assert summary.hedges > 0
+        doc = observer.tracer.to_doc()
+        hedged = [
+            tree
+            for tree in doc["requests"].values()
+            if any(c["kind"] == "hedge" for c in tree["children"])
+        ]
+        assert hedged
+
+    def test_batch_slices_cover_every_dispatch(self, traced_run):
+        summary, observer = traced_run
+        doc = observer.tracer.to_doc()
+        assert len(doc["batches"]) == summary.batches
+        crashed = [
+            b for b in doc["batches"]
+            if b["attrs"].get("cancelled") and "fault" in b["attrs"]
+        ]
+        assert crashed, "aggressive chaos should cancel in-flight work"
+
+
+class TestPerfettoTrace:
+    def test_one_track_per_node_one_flow_per_request(self, traced_run):
+        _, observer = traced_run
+        trace = fleet_to_perfetto(observer.tracer)
+        events = trace["traceEvents"]
+        tracks = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert tracks == [f"node acc{i}" for i in range(4)]
+        flow_ids = {e["id"] for e in events if e.get("cat") == "flow"}
+        assert len(flow_ids) == 200
+        starts = sum(1 for e in events if e["ph"] == "s")
+        finishes = sum(1 for e in events if e["ph"] == "f")
+        assert starts == finishes == 200
+
+    def test_same_seed_traces_are_byte_identical(self):
+        blobs = []
+        for _ in range(2):
+            observer = FleetObserver(trace=True)
+            summary = _chaos_sim(observer=observer).run()
+            observer.tracer.finish(summary.makespan)
+            blobs.append(json.dumps(
+                fleet_to_perfetto(observer.tracer), sort_keys=True,
+            ))
+        assert blobs[0] == blobs[1]
+
+
+class TestSummarySections:
+    def test_timeseries_windows_tile_the_run(self, traced_run):
+        summary, _ = traced_run
+        doc = summary.to_doc()
+        series = doc["timeseries"]
+        assert series["bucket"] == 0.25
+        assert len(series["windows"]) >= 8
+        assert sum(w["arrivals"] for w in series["windows"]) == 200
+        completions = sum(
+            w["ok"] + w["shed"] + w["failed"]
+            for w in series["windows"]
+        )
+        assert completions == 200
+
+    def test_slo_covers_every_tenant_with_burn_per_window(self, traced_run):
+        summary, _ = traced_run
+        doc = summary.to_doc()
+        slo = doc["slo"]
+        assert sorted(slo["tenants"]) == [
+            "background", "batch", "interactive",
+        ]
+        for report in slo["tenants"].values():
+            assert len(report["windows"]) == len(
+                doc["timeseries"]["windows"]
+            )
+            assert all(
+                w["burn_rate"] >= 0.0 for w in report["windows"]
+            )
+            assert report["totals"]["completed"] > 0
+
+    def test_latency_summary_gains_p999(self, traced_run):
+        summary, _ = traced_run
+        lat = summary.to_doc()["latency_ms"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["p999"]
+        assert lat["p999"] <= lat["max"]
+
+    def test_summary_stays_byte_identical(self, traced_run):
+        summary, _ = traced_run
+        replay = _chaos_sim().run()
+        assert replay.to_json() == summary.to_json()
+
+    def test_untraced_sim_produces_the_same_summary(self, traced_run):
+        """Telemetry observes; it must never change the run."""
+        summary, _ = traced_run
+        bare = _chaos_sim(observer=None).run()
+        assert bare.to_json() == summary.to_json()
+
+
+class TestPostmortems:
+    def test_eviction_takes_a_postmortem(self, traced_run):
+        summary, _ = traced_run
+        assert summary.evictions >= 1
+        reasons = [p["reason"] for p in summary.postmortems]
+        assert any(r.startswith("health-eviction:") for r in reasons)
+        assert summary.to_doc()["recovery"]["postmortems"] == len(
+            summary.postmortems
+        )
+
+    def test_postmortem_rings_are_in_event_order(self, traced_run):
+        summary, _ = traced_run
+        for pm in summary.postmortems:
+            for ring in pm["rings"].values():
+                seqs = [e["seq"] for e in ring]
+                assert seqs == sorted(seqs)
+
+    def test_recorder_off_means_no_postmortems(self):
+        summary = _chaos_sim(observer=None).run()
+        assert summary.postmortems == []
+        assert summary.lost == 0

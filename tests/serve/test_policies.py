@@ -8,6 +8,7 @@ from repro.serve.policies import (
     BatchingPolicy,
     HealthPolicy,
     HedgePolicy,
+    ObservabilityPolicy,
     RetryPolicy,
     ServePolicies,
 )
@@ -33,6 +34,14 @@ class TestValidation:
     def test_health_interval_positive(self):
         with pytest.raises(ConfigError):
             HealthPolicy(check_interval=0.0)
+
+    def test_rollup_bucket_positive(self):
+        with pytest.raises(ConfigError):
+            ObservabilityPolicy(rollup_bucket=0.0)
+
+    def test_ring_needs_a_slot(self):
+        with pytest.raises(ConfigError):
+            ObservabilityPolicy(ring=0)
 
 
 class TestBatchCost:
@@ -69,5 +78,5 @@ class TestBundle:
     def test_doc_has_every_policy(self):
         doc = ServePolicies().as_doc()
         assert set(doc) == {
-            "retry", "hedge", "admission", "batching", "health",
+            "retry", "hedge", "admission", "batching", "health", "obs",
         }

@@ -1,0 +1,76 @@
+"""Killing a run mid-chaos still yields a parseable postmortem.
+
+The CLI installs a SIGTERM handler that aborts the event loop,
+snapshots the flight-recorder rings at the last simulated instant,
+and exits ``EXIT_INTERRUPTED`` — a chaos run that dies still explains
+itself.  These tests drive a real subprocess (signals need one) with a
+request count large enough that the kill lands mid-loop.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+EXIT_INTERRUPTED = 3
+
+
+def _spawn(tmp_path, out_name="postmortem.json"):
+    out = tmp_path / out_name
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve", "run",
+            "--requests", "60000", "--horizon", "20",
+            "--faults", "aggressive", "--seed", "3",
+            "--postmortem-out", str(out),
+        ],
+        env=env, cwd=str(tmp_path),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    return proc, out
+
+
+@pytest.mark.slow
+class TestSigtermPostmortem:
+    def test_sigterm_mid_run_writes_parseable_postmortem(self, tmp_path):
+        proc, out = _spawn(tmp_path)
+        # Past interpreter start + load generation, inside the loop.
+        time.sleep(2.0)
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        if proc.returncode != EXIT_INTERRUPTED:
+            pytest.skip(
+                "run finished before the signal landed "
+                f"(rc={proc.returncode}); host too fast/slow"
+            )
+        assert "interrupted at t=" in stderr
+
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "repro-postmortem"
+        assert doc["context"]["interrupted"] is True
+        assert doc["postmortems"][-1]["reason"] == "sigterm"
+
+    def test_ring_contents_are_in_event_order(self, tmp_path):
+        proc, out = _spawn(tmp_path)
+        time.sleep(2.0)
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=60)
+        if proc.returncode != EXIT_INTERRUPTED:
+            pytest.skip(
+                f"run finished before the signal landed "
+                f"(rc={proc.returncode})"
+            )
+        doc = json.loads(out.read_text())
+        rings = doc["postmortems"][-1]["rings"]
+        assert rings, "a mid-chaos kill should have recorded events"
+        for ring in rings.values():
+            seqs = [e["seq"] for e in ring]
+            assert seqs == sorted(seqs)
+            assert all(e["kind"] for e in ring)
