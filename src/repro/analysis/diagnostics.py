@@ -154,6 +154,19 @@ RULES: Dict[str, Rule] = _catalog([
          "kind/signature/tag on the same inputs), or a kept output is "
          "never claimed by a later window; share it via temporal "
          "pipelining instead"),
+    # ---- lowering pipeline (P) ----------------------------------------
+    Rule("P001", "pass left operators above its target level",
+         Severity.ERROR,
+         "a registered rewrite declared a target level but its output "
+         "graph still contains coarse (KEY_SWITCH/ROT_BATCH) or, at the "
+         "decomposed level with a split configured, monolithic NTT "
+         "operators it should have expanded; the rewrite is incomplete"),
+    Rule("P002", "NTT split off the Section V-D candidate set",
+         Severity.WARNING,
+         "the configured four-step split is not among "
+         "candidate_splits() for the default PE lane width; the "
+         "decomposed tiles may under-fill the lanes — pick N1/N2 at "
+         "least the lane count with a bounded aspect ratio"),
     # ---- determinism lint (D): byte-identity guardrails ---------------
     Rule("D001", "unseeded random source", Severity.ERROR,
          "module-level random.* / numpy.random.* and zero-argument "

@@ -218,6 +218,64 @@ def _check_ksk_inp(op: Operator, report: DiagnosticReport) -> None:
             )
 
 
+def _check_key_switch(op: Operator, report: DiagnosticReport) -> None:
+    """Coarse primitive-level key switch: (d, evk) -> (ks_b, ks_a)."""
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    if len(op.outputs) != 2:
+        report.emit(
+            "C005", _loc(op),
+            f"coarse key switch writes {len(op.outputs)} tensors, "
+            "expected the (ks_b, ks_a) pair",
+        )
+    for t in _poly_inputs(op):
+        if _rows(t) != op.limbs:
+            report.emit(
+                "C002", _loc(op),
+                f"switches {op.limbs} limb rows but input {t.name} "
+                f"carries {_rows(t)} — a key switch preserves the level",
+            )
+    evks = [t for t in op.inputs if t.kind is TensorKind.EVK]
+    if len(evks) != 1:
+        report.emit(
+            "C005", _loc(op),
+            f"expected exactly one evk input, found {len(evks)}",
+        )
+    elif len(evks[0].shape) != 4 or evks[0].shape[1] != op.digits:
+        report.emit(
+            "C005", _loc(op),
+            f"evk {evks[0].name} has shape {evks[0].shape}, expected "
+            f"(polys, beta={op.digits}, limbs, N)",
+        )
+
+
+def _check_rot_batch(op: Operator, report: DiagnosticReport) -> None:
+    """Coarse baby-rotation batch: rotations 1..n1-1 of one ciphertext."""
+    _check_poly_output(op, op.limbs, report)
+    _check_slots(op, report)
+    expected = 2 * (op.digits - 1)
+    if len(op.outputs) != expected:
+        report.emit(
+            "C005", _loc(op),
+            f"baby-rotation batch over n1={op.digits} writes "
+            f"{len(op.outputs)} tensors, expected {expected} (b, a) pairs",
+        )
+    for t in _poly_inputs(op):
+        if _rows(t) != op.limbs:
+            report.emit(
+                "C002", _loc(op),
+                f"rotates {op.limbs} limb rows but input {t.name} "
+                f"carries {_rows(t)} — rotations preserve the level",
+            )
+    for t in op.inputs:
+        if t.kind is TensorKind.EVK and len(t.shape) != 4:
+            report.emit(
+                "C005", _loc(op),
+                f"evk {t.name} has shape {t.shape}, expected "
+                "(polys, beta, limbs, N)",
+            )
+
+
 _KIND_CHECKS = {
     OpKind.EW_ADD: _check_elementwise,
     OpKind.EW_MUL: _check_elementwise,
@@ -232,6 +290,8 @@ _KIND_CHECKS = {
     OpKind.BCONV: _check_bconv,
     OpKind.KSK_INP: _check_ksk_inp,
     OpKind.TRANSPOSE: _check_transpose,
+    OpKind.KEY_SWITCH: _check_key_switch,
+    OpKind.ROT_BATCH: _check_rot_batch,
 }
 
 

@@ -211,6 +211,35 @@ def _workload_options(
     )
 
 
+#: Environment switch between the :mod:`repro.passes` lowering pipeline
+#: (``"pipeline"``, the default) and the legacy one-shot builders
+#: (``"legacy"``).  Both produce structurally identical graphs — CI's
+#: ``verify-passes`` job byte-compares the resulting artifacts.
+LOWERING_ENV = "REPRO_LOWERING"
+
+
+def _build_workload(
+    workload_name: str, params: CKKSParams, options: WorkloadOptions
+) -> Workload:
+    """Build one workload's segment graphs for evaluation.
+
+    Routes through :func:`repro.passes.lowering.lower_workload` (build
+    at the primitive level, lower through the verified pass pipeline)
+    unless ``REPRO_LOWERING=legacy`` selects the one-shot builders.
+    The pipeline path runs its inter-pass invariants in ``"error"``
+    mode, so an illegal lowering fails loudly instead of producing a
+    wrong schedule; lowered graphs are memoized per primitive-level
+    fingerprint, making the build cost per distinct structure, not per
+    sweep point.
+    """
+    mode = os.environ.get(LOWERING_ENV, "pipeline").strip().lower()
+    if mode == "legacy":
+        return WORKLOAD_BUILDERS[workload_name](params, options)
+    from repro.passes.lowering import lower_workload
+
+    return lower_workload(workload_name, params, options)
+
+
 def _cluster_hw(hw: HardwareConfig, clusters: int) -> HardwareConfig:
     """Hardware view for data-parallel CROPHE-p.
 
@@ -235,7 +264,7 @@ def _evaluate_once(
     base_config: SchedulerConfig,
 ) -> EvalResult:
     options = _workload_options(point, params, r_hyb, decompose_ntt)
-    workload = WORKLOAD_BUILDERS[workload_name](params, options)
+    workload = _build_workload(workload_name, params, options)
     hw = _cluster_hw(point.hw, clusters)
     config = replace(base_config, constant_share=clusters)
     residency = base_config.keep_fraction
@@ -432,8 +461,11 @@ def clear_cache() -> None:
     bench harness, which must measure search work from cold).  On-disk
     entries survive — remove the cache directory to go fully cold.
     """
+    from repro.passes.lowering import clear_lowering_memo
+
     _RESULT_LIVE.clear()
     _SCHED_LIVE.clear()
+    clear_lowering_memo()
     CACHE.clear_memory()
 
 

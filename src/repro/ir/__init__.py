@@ -13,7 +13,11 @@ test operates on.
 from repro.ir.loops import Axis, Loop, LoopNest
 from repro.ir.tensors import DataTensor, TensorKind
 from repro.ir.operators import OpKind, Operator
-from repro.ir.graph import OperatorGraph
+from repro.ir.graph import (
+    OperatorGraph,
+    graphs_structurally_equal,
+    structural_mismatch,
+)
 
 __all__ = [
     "Axis",
@@ -24,4 +28,6 @@ __all__ = [
     "OpKind",
     "Operator",
     "OperatorGraph",
+    "graphs_structurally_equal",
+    "structural_mismatch",
 ]

@@ -10,9 +10,27 @@ Two properties matter for the scheduler downstream:
   diagonals) are **cached and reused** across primitives: two HRots with
   the same amount and level reference the *same* evk tensor, which is
   exactly what makes cross-operator *sharing* visible in the graph.
+  The cache lives in a :class:`ConstantPool` so the :mod:`repro.passes`
+  rewrites can emit into an existing graph while preserving the exact
+  sharing a single monolithic build would have produced.
 * With ``ntt_split`` set, every (i)NTT is emitted in four-step form —
   column phase, twiddle multiply, transpose, row phase — exposing the
   independent ``N1``/``N2`` loops of Section V-B.
+
+The ``lowering`` mode selects how far primitives are decomposed at
+emission time (the level vocabulary of the :mod:`repro.passes`
+pipeline):
+
+* ``"full"`` (default, the historical behaviour) — everything is
+  decomposed inline: key switches expand to Decomp/ModUp/inner-product/
+  ModDown chains and ``ntt_split`` applies.
+* ``"primitive"`` — key switches emit a single coarse ``KEY_SWITCH``
+  operator, hoisting/hybrid baby-rotation batches emit one coarse
+  ``ROT_BATCH`` operator, and every (i)NTT stays monolithic; the
+  registered rewrites lower these later.
+* ``"coarse-ks"`` — like ``"full"`` except key switches stay coarse;
+  used by the rotation-lowering rewrite so its output still contains
+  ``KEY_SWITCH`` nodes for the next pass to expand *in place*.
 """
 
 from __future__ import annotations
@@ -23,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fhe.params import CKKSParams
 from repro.ir.graph import OperatorGraph
-from repro.resilience.errors import InvariantViolation
+from repro.resilience.errors import ConfigError, InvariantViolation
 from repro.ir.operators import Operator, OpKind
 from repro.ir.tensors import (
     DataTensor,
@@ -35,6 +53,10 @@ from repro.ir.tensors import (
     poly_tensor,
     twiddle_tensor,
 )
+
+
+#: Emission modes (see the module docstring).
+LOWERING_MODES = ("full", "primitive", "coarse-ks")
 
 
 @dataclass
@@ -50,19 +72,132 @@ class CiphertextTensors:
         return (self.b, self.a)
 
 
+def rot_batch_amounts(
+    n1: int, strategy: str, r_hyb: int
+) -> Tuple[int, ...]:
+    """Rotation amounts whose evks a baby-step batch references, in the
+    deterministic order the full lowering first touches them.
+
+    * ``hoisting`` — one hoisted group over amounts ``1..n1-1``.
+    * ``hybrid`` — the coarse Min-KS amount ``r_hyb`` first (only when
+      more than one coarse group exists), then the fine amounts
+      ``1..r_hyb-1`` that at least one group actually uses.
+
+    A coarse ``ROT_BATCH`` operator takes exactly these evk tensors as
+    inputs (after its two ciphertext halves), so the rotation-lowering
+    rewrite can seed its emitter's :class:`ConstantPool` and replay the
+    full expansion with identical constant sharing.
+    """
+    if strategy == "hoisting":
+        return tuple(range(1, n1))
+    if strategy == "hybrid":
+        if r_hyb < 1:
+            raise ConfigError("r_hyb", r_hyb, "must be an int >= 1")
+        num_groups = -(n1 // -r_hyb)
+        coarse = (r_hyb,) if num_groups > 1 else ()
+        fine = tuple(r for r in range(1, r_hyb) if r <= n1 - 1)
+        return coarse + fine
+    raise ConfigError(
+        "strategy", strategy, "no batched coarse form for this strategy"
+    )
+
+
+class ConstantPool:
+    """Cached auxiliary-constant tensors shared across emitted primitives.
+
+    One pool per built graph (or per lowering-pipeline run over a
+    segment): two primitives asking for the same evk / BConv matrix /
+    twiddle vector get the *same* tensor, which is what makes constant
+    sharing visible to the scheduler.  The :mod:`repro.passes` rewrites
+    seed a pool with the constants already present in the source graph
+    so in-place expansions reuse them instead of minting twins.
+    """
+
+    def __init__(self, params: CKKSParams):
+        self.params = params
+        self.word_bytes = params.bytes_per_word()
+        self._evk: Dict[Tuple[str, int, int], DataTensor] = {}
+        self._bconv: Dict[Tuple[int, int, str], DataTensor] = {}
+        self._twiddle: Dict[int, DataTensor] = {}
+
+    def evk(self, kind: str, level: int, amount: int = 0) -> DataTensor:
+        """Evaluation key tensor, cached per (kind, amount, level).
+
+        The ``a`` half of each evk pair is generated on-chip from a PRNG
+        seed (the standard optimization of [2], [51], which the paper
+        applies to all designs), so only one of the two polynomials per
+        digit moves through the memory system.
+        """
+        key = (kind, amount, level)
+        t = self._evk.get(key)
+        if t is None:
+            beta = self.params.digits_at_level(level)
+            limbs = self.params.evk_limbs(level)
+            t = evk_tensor(
+                f"evk.{kind}.{amount}.L{level}",
+                beta,
+                limbs,
+                self.params.n,
+                self.word_bytes,
+                prng_halved=True,
+            )
+            self._evk[key] = t
+        return t
+
+    def bconv_matrix(self, src: int, dst: int, tag: str) -> DataTensor:
+        """BConv constant matrix tensor, cached per shape and use."""
+        key = (src, dst, tag)
+        t = self._bconv.get(key)
+        if t is None:
+            t = bconv_matrix_tensor(
+                f"bconvM.{tag}.{src}x{dst}", dst, src, self.word_bytes
+            )
+            self._bconv[key] = t
+        return t
+
+    def twiddles(self, length: int) -> DataTensor:
+        """Twiddle-factor tensor for one NTT size, cached."""
+        t = self._twiddle.get(length)
+        if t is None:
+            t = twiddle_tensor(f"twiddle.{length}", length, self.word_bytes)
+            self._twiddle[length] = t
+        return t
+
+    def seed_evk(
+        self, kind: str, level: int, amount: int, tensor: DataTensor
+    ) -> None:
+        """Pre-register an existing evk tensor under its cache key."""
+        self._evk[(kind, amount, level)] = tensor
+
+    def seed_twiddles(self, tensor: DataTensor) -> None:
+        """Pre-register an existing twiddle tensor (keyed by length)."""
+        self._twiddle[tensor.shape[0]] = tensor
+
+
 class GraphBuilder:
     """Lowers CKKS primitives into operator graphs.
 
     Args:
         params: CKKS parameter set (spec or concrete — only shapes used).
         ntt_split: optional ``(n1, n2)`` four-step split applied to every
-            (i)NTT; ``None`` emits monolithic NTT operators.
+            (i)NTT; ``None`` emits monolithic NTT operators.  Ignored at
+            emission time in ``"primitive"`` mode (the decompose-ntt
+            rewrite applies it later).
+        lowering: emission mode, one of :data:`LOWERING_MODES` (see the
+            module docstring).
+        graph: existing graph to emit into (the passes rewrites expand
+            coarse operators into a graph under construction); a fresh
+            graph by default.
+        pool: shared :class:`ConstantPool`; a fresh pool by default.
     """
 
     def __init__(
         self,
         params: CKKSParams,
         ntt_split: Optional[Tuple[int, int]] = None,
+        lowering: str = "full",
+        graph: Optional[OperatorGraph] = None,
+        pool: Optional[ConstantPool] = None,
     ):
         if ntt_split is not None:
             n1, n2 = ntt_split
@@ -70,14 +205,17 @@ class GraphBuilder:
                 raise ValueError(
                     f"ntt_split {ntt_split} does not multiply to N={params.n}"
                 )
+        if lowering not in LOWERING_MODES:
+            raise ConfigError(
+                "lowering", lowering, f"choose from {LOWERING_MODES}"
+            )
         self.params = params
         self.ntt_split = ntt_split
+        self.lowering = lowering
         self.word_bytes = params.bytes_per_word()
-        self.graph = OperatorGraph()
+        self.graph = OperatorGraph() if graph is None else graph
+        self.pool = ConstantPool(params) if pool is None else pool
         self._counter = itertools.count()
-        self._evk_cache: Dict[Tuple, DataTensor] = {}
-        self._bconv_cache: Dict[Tuple, DataTensor] = {}
-        self._twiddle_cache: Dict[int, DataTensor] = {}
 
     # ------------------------------------------------------------------
     # Naming and tensor helpers
@@ -102,47 +240,16 @@ class GraphBuilder:
         return CiphertextTensors(b, a, level)
 
     def evk(self, kind: str, level: int, amount: int = 0) -> DataTensor:
-        """Evaluation key tensor, cached per (kind, amount, level).
-
-        The ``a`` half of each evk pair is generated on-chip from a PRNG
-        seed (the standard optimization of [2], [51], which the paper
-        applies to all designs), so only one of the two polynomials per
-        digit moves through the memory system.
-        """
-        key = (kind, amount, level)
-        t = self._evk_cache.get(key)
-        if t is None:
-            beta = self.params.digits_at_level(level)
-            limbs = self.params.evk_limbs(level)
-            t = evk_tensor(
-                f"evk.{kind}.{amount}.L{level}",
-                beta,
-                limbs,
-                self.params.n,
-                self.word_bytes,
-                prng_halved=True,
-            )
-            self._evk_cache[key] = t
-        return t
+        """Evaluation key tensor from the pool (see :class:`ConstantPool`)."""
+        return self.pool.evk(kind, level, amount)
 
     def bconv_matrix(self, src: int, dst: int, tag: str) -> DataTensor:
-        """BConv constant matrix tensor, cached per shape and use."""
-        key = (src, dst, tag)
-        t = self._bconv_cache.get(key)
-        if t is None:
-            t = bconv_matrix_tensor(
-                f"bconvM.{tag}.{src}x{dst}", dst, src, self.word_bytes
-            )
-            self._bconv_cache[key] = t
-        return t
+        """BConv constant matrix tensor from the pool, per shape and use."""
+        return self.pool.bconv_matrix(src, dst, tag)
 
     def twiddles(self, length: int) -> DataTensor:
-        """Twiddle-factor tensor for one NTT size, cached."""
-        t = self._twiddle_cache.get(length)
-        if t is None:
-            t = twiddle_tensor(f"twiddle.{length}", length, self.word_bytes)
-            self._twiddle_cache[length] = t
-        return t
+        """Twiddle-factor tensor from the pool for one NTT size."""
+        return self.pool.twiddles(length)
 
     def _add(self, op: Operator) -> Operator:
         return self.graph.add_operator(op)
@@ -154,8 +261,13 @@ class GraphBuilder:
     def ntt(
         self, src: DataTensor, limbs: int, inverse: bool, tag: str
     ) -> DataTensor:
-        """Emit an (i)NTT over ``limbs`` limb rows of ``src``."""
-        if self.ntt_split is None:
+        """Emit an (i)NTT over ``limbs`` limb rows of ``src``.
+
+        In ``"primitive"`` lowering mode the NTT is always monolithic —
+        the four-step split (when requested) is applied later by the
+        decompose-ntt rewrite, which replays :meth:`_four_step` in place.
+        """
+        if self.ntt_split is None or self.lowering == "primitive":
             out = self.poly(f"{tag}.{'intt' if inverse else 'ntt'}", limbs)
             self._add(
                 Operator(
@@ -363,8 +475,31 @@ class GraphBuilder:
         evk: DataTensor,
         tag: str,
     ) -> Tuple[DataTensor, DataTensor]:
-        """Full key switch of one polynomial: returns ``(ks_b, ks_a)``."""
+        """Key switch of one polynomial: returns ``(ks_b, ks_a)``.
+
+        In ``"primitive"``/``"coarse-ks"`` lowering modes this emits a
+        single coarse ``KEY_SWITCH`` operator carrying the digit count;
+        the key-switch-lowering rewrite expands it in place into the
+        exact Decomp/ModUp/inner-product/ModDown chain below.
+        """
         beta = self.params.digits_at_level(level)
+        if self.lowering != "full":
+            limbs = level + 1
+            ks_b = self.poly(f"{tag}.ksb", limbs)
+            ks_a = self.poly(f"{tag}.ksa", limbs)
+            self._add(
+                Operator(
+                    name=self._name(f"{tag}.coarse"),
+                    kind=OpKind.KEY_SWITCH,
+                    limbs=limbs,
+                    digits=beta,
+                    n=self.params.n,
+                    inputs=[d, evk],
+                    outputs=[ks_b, ks_a],
+                    tag=tag,
+                )
+            )
+            return ks_b, ks_a
         digits_ext = []
         for j in range(beta):
             alpha_j = min(
@@ -516,7 +651,19 @@ class GraphBuilder:
         r_hyb: int = 4,
         tag: str = "baby",
     ) -> List[CiphertextTensors]:
-        """All baby-step rotations 0..n1-1 with the chosen strategy."""
+        """All baby-step rotations 0..n1-1 with the chosen strategy.
+
+        In ``"primitive"`` lowering mode the hoisting and hybrid
+        strategies emit one coarse ``ROT_BATCH`` operator instead of
+        their full expansions (plain and Min-KS lower through
+        :meth:`hrot`, whose key switch is already coarse in that mode).
+        """
+        if (
+            self.lowering == "primitive"
+            and strategy in ("hoisting", "hybrid")
+            and n1 > 1
+        ):
+            return self._rot_batch(ct, n1, strategy, r_hyb, tag)
         if strategy == "plain":
             # No rotation optimization: one independent full HRot per
             # amount (distinct evk and complete key-switch each).
@@ -530,6 +677,56 @@ class GraphBuilder:
         if strategy == "hybrid":
             return self._baby_hybrid(ct, n1, r_hyb, tag)
         raise ValueError(f"unknown rotation strategy {strategy!r}")
+
+    def _rot_batch(
+        self,
+        ct: CiphertextTensors,
+        n1: int,
+        strategy: str,
+        r_hyb: int,
+        tag: str,
+    ) -> List[CiphertextTensors]:
+        """Coarse baby-rotation batch: one ``ROT_BATCH`` operator.
+
+        Inputs are the ciphertext halves followed by the evks for
+        :func:`rot_batch_amounts` (pulled through the pool, so they are
+        shared with any other primitive rotating by the same amount at
+        the same level — e.g. a BSGS giant step).  Outputs are the
+        ``(b, a)`` pairs of rotations ``1..n1-1``; rotation 0 is the
+        input ciphertext itself.  The strategy parameters ride along as
+        structural ``attrs`` so the rotation-lowering rewrite can replay
+        the exact full expansion.
+        """
+        level = ct.level
+        limbs = level + 1
+        amounts = rot_batch_amounts(n1, strategy, r_hyb)
+        evks = [self.evk("rot", level, r) for r in amounts]
+        outs: List[DataTensor] = []
+        for i in range(1, n1):
+            outs.append(self.poly(f"{tag}.rot{i}.b", limbs))
+            outs.append(self.poly(f"{tag}.rot{i}.a", limbs))
+        self._add(
+            Operator(
+                name=self._name(f"{tag}.batch"),
+                kind=OpKind.ROT_BATCH,
+                limbs=limbs,
+                digits=n1,
+                n=self.params.n,
+                inputs=[ct.b, ct.a] + evks,
+                outputs=outs,
+                tag=tag,
+                attrs=(
+                    ("amounts", amounts),
+                    ("n1", n1),
+                    ("r_hyb", r_hyb),
+                    ("strategy", strategy),
+                ),
+            )
+        )
+        return [ct] + [
+            CiphertextTensors(outs[2 * i], outs[2 * i + 1], level)
+            for i in range(n1 - 1)
+        ]
 
     def _baby_min_ks(
         self, ct: CiphertextTensors, n1: int, tag: str

@@ -130,6 +130,46 @@ class OperatorGraph:
         for op in other.operators_topological():
             self.add_operator(op)
 
+    def clone(self, name: Optional[str] = None) -> "OperatorGraph":
+        """Deterministic deep copy: fresh operators, fresh tensors.
+
+        Every operator and tensor is re-created (new uids, same names,
+        kinds, shapes, and tags) in the original *insertion* order, and
+        tensor sharing is preserved exactly — a constant consumed by two
+        operators is one tensor in the clone too.  The clone is fully
+        independent: rewrites may extend or rewire it without touching
+        the original, which is the safe copy primitive the
+        :mod:`repro.passes` rewrites build on.  ``clone()`` and the
+        original are :func:`structural_mismatch`-equal by construction.
+        """
+        out = OperatorGraph(self.name if name is None else name)
+        mapped: Dict[int, DataTensor] = {}
+
+        def _map(t: DataTensor) -> DataTensor:
+            copy = mapped.get(t.uid)
+            if copy is None:
+                copy = DataTensor(t.name, t.kind, t.shape, t.word_bytes)
+                mapped[t.uid] = copy
+            return copy
+
+        for op in self._ops.values():
+            out.add_operator(
+                Operator(
+                    name=op.name,
+                    kind=op.kind,
+                    limbs=op.limbs,
+                    n=op.n,
+                    digits=op.digits,
+                    out_limbs=op.out_limbs,
+                    n_split=op.n_split,
+                    inputs=[_map(t) for t in op.inputs],
+                    outputs=[_map(t) for t in op.outputs],
+                    tag=op.tag,
+                    attrs=op.attrs,
+                )
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -329,3 +369,67 @@ class OperatorGraph:
             f"<OperatorGraph {self.name}: {self.num_operators} ops, "
             f"{len(self._tensors)} tensors>"
         )
+
+
+# ---------------------------------------------------------------------------
+# Structural equality (uid- and name-free)
+# ---------------------------------------------------------------------------
+
+def structural_mismatch(
+    a: OperatorGraph, b: OperatorGraph
+) -> Optional[str]:
+    """First structural difference between two graphs, or ``None``.
+
+    Two graphs are structurally equal when their insertion-order
+    operator sequences match pairwise on :meth:`~repro.ir.operators.
+    Operator.signature` and tag, their tensors agree on (kind, shape,
+    word size) position by position, and the tensor *sharing pattern*
+    is a bijection — the i-th operator's j-th input is the same tensor
+    object in ``a`` exactly when it is in ``b``.  Names and uids are
+    ignored; this is the relation the lowering pipeline's byte-identity
+    guarantee rests on (equal structure implies an equal deterministic
+    topological order, hence equal windows and schedules).
+    """
+    if a.num_operators != b.num_operators:
+        return (
+            f"operator count differs: {a.num_operators} vs "
+            f"{b.num_operators}"
+        )
+    forward: Dict[int, int] = {}
+    backward: Dict[int, int] = {}
+    for i, (op_a, op_b) in enumerate(zip(a.operators, b.operators)):
+        where = f"operator #{i} ({op_a.name} / {op_b.name})"
+        if op_a.signature() != op_b.signature():
+            return f"{where}: signatures differ"
+        if op_a.tag != op_b.tag:
+            return f"{where}: tags differ ({op_a.tag!r} vs {op_b.tag!r})"
+        pairs = list(zip(op_a.inputs, op_b.inputs))
+        pairs += list(zip(op_a.outputs, op_b.outputs))
+        for t_a, t_b in pairs:
+            if (t_a.kind, t_a.shape, t_a.word_bytes) != (
+                t_b.kind, t_b.shape, t_b.word_bytes
+            ):
+                return (
+                    f"{where}: tensor {t_a.name} vs {t_b.name} differ "
+                    "in kind/shape"
+                )
+            seen = forward.get(t_a.uid)
+            if seen is None:
+                if t_b.uid in backward:
+                    return (
+                        f"{where}: tensor sharing diverges at "
+                        f"{t_a.name} / {t_b.name}"
+                    )
+                forward[t_a.uid] = t_b.uid
+                backward[t_b.uid] = t_a.uid
+            elif seen != t_b.uid:
+                return (
+                    f"{where}: tensor sharing diverges at "
+                    f"{t_a.name} / {t_b.name}"
+                )
+    return None
+
+
+def graphs_structurally_equal(a: OperatorGraph, b: OperatorGraph) -> bool:
+    """Whether two graphs are structurally identical (uid/name-free)."""
+    return structural_mismatch(a, b) is None

@@ -45,6 +45,10 @@ class OpKind(enum.Enum):
     BCONV = "bconv"            # base conversion (matrix multiply per slot)
     KSK_INP = "ksk_inp"        # inner product with evk along digits
     TRANSPOSE = "transpose"    # on the dedicated transpose unit
+    # Coarse primitive-level kinds: placeholders the repro.passes
+    # lowering pipeline expands before anything costs or schedules them.
+    KEY_SWITCH = "key_switch"  # un-decomposed key switch (one digit loop)
+    ROT_BATCH = "rot_batch"    # un-decomposed baby-rotation batch
 
     @property
     def is_ntt_phase(self) -> bool:
@@ -55,6 +59,11 @@ class OpKind(enum.Enum):
     @property
     def is_monolithic_ntt(self) -> bool:
         return self in (OpKind.NTT, OpKind.INTT)
+
+    @property
+    def is_coarse(self) -> bool:
+        """Primitive-level kind that must be lowered before scheduling."""
+        return self in (OpKind.KEY_SWITCH, OpKind.ROT_BATCH)
 
 
 _ids = itertools.count()
@@ -84,6 +93,13 @@ class Operator:
         inputs/outputs: connected tensors.
         tag: provenance (e.g. ``"keyswitch.modup0"``); used for grouping
             heuristics and pretty-printing.
+        attrs: sorted ``(key, value)`` pairs carrying extra structural
+            parameters of coarse primitive-level operators (e.g. a
+            ``ROT_BATCH``'s rotation strategy and amounts).  Empty for
+            every fully decomposed operator, and folded into
+            :meth:`signature` only when non-empty so existing
+            signatures — and every memo/cache key derived from them —
+            are unchanged.
     """
 
     name: str
@@ -96,6 +112,7 @@ class Operator:
     inputs: List[DataTensor] = field(default_factory=list)
     outputs: List[DataTensor] = field(default_factory=list)
     tag: str = ""
+    attrs: Tuple[Tuple[str, object], ...] = ()
     uid: int = field(default_factory=lambda: next(_ids))
 
     def __post_init__(self) -> None:
@@ -147,7 +164,19 @@ class Operator:
             return 2 * self.digits * self.limbs * self.n
         if k is OpKind.TRANSPOSE:
             return 0
+        if k.is_coarse:
+            self._reject_coarse("mul_work")
         raise AssertionError(f"unhandled kind {k}")
+
+    def _reject_coarse(self, what: str) -> None:
+        from repro.resilience.errors import InvariantViolation
+
+        raise InvariantViolation(
+            f"repro.ir.operators.Operator.{what}",
+            f"coarse operator {self.name} ({self.kind.value}) reached a "
+            "cost/scheduling query; run the repro.passes lowering "
+            "pipeline to the decomposed level first",
+        )
 
     @property
     def add_work(self) -> int:
@@ -170,6 +199,8 @@ class Operator:
             return self.limbs * out * self.n
         if k is OpKind.KSK_INP:
             return 2 * self.digits * self.limbs * self.n
+        if k.is_coarse:
+            self._reject_coarse("add_work")
         return 0
 
     @property
@@ -280,6 +311,8 @@ class Operator:
         if k is OpKind.TRANSPOSE:
             # Orientation switch on the transpose unit; nothing matches.
             return [LoopNest([Loop(Axis.N, self.n), limb])]
+        if k.is_coarse:
+            self._reject_coarse("candidate_loop_nests")
         raise AssertionError(f"unhandled kind {k}")
 
     # ------------------------------------------------------------------
@@ -305,6 +338,10 @@ class Operator:
                 tuple((t.kind.value, t.shape) for t in self.inputs),
                 tuple((t.kind.value, t.shape) for t in self.outputs),
             )
+            if self.attrs:
+                # Coarse-only extension: decomposed operators keep their
+                # historical signatures (and derived memo/cache keys).
+                sig = sig + (self.attrs,)
             self._signature = sig
         return sig
 

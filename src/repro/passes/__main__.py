@@ -1,0 +1,312 @@
+"""``python -m repro.passes``: run, list, and inspect the lowering pipeline.
+
+Subcommands:
+
+* ``ls`` — print the registered pass catalog.
+* ``run [workload ...]`` — build each workload at the primitive level,
+  lower every distinct segment through the pipeline, and print a
+  per-stage report (operator-count diff, level, fingerprint, wall
+  time, diagnostics).
+* ``dump <workload> --level primitive|decomposed`` — print the
+  operator listing of each distinct segment graph at a level.
+* ``verify [workload ...]`` — the pipeline-vs-legacy oracle: lower
+  through the passes, build the same workload with the legacy one-shot
+  builders, and require structural identity plus clean inter-pass
+  invariants.
+
+Exit code 0 on success,
+:data:`~repro.analysis.diagnostics.EXIT_VERIFY` (5) when any ERROR
+diagnostic, invariant failure, or structural mismatch is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import EXIT_VERIFY, reports_document
+from repro.fhe.params import CKKSParams, parameter_set
+from repro.ir.graph import OperatorGraph, structural_mismatch
+from repro.passes.levels import Level
+from repro.passes.lowering import lower_graph
+from repro.passes.pipeline import PipelineResult
+from repro.passes.registry import registered_passes
+from repro.resilience.errors import VerificationError
+from repro.workloads import WORKLOAD_BUILDERS
+from repro.workloads.base import WorkloadOptions
+
+_DEFAULT_WORKLOADS = ["bootstrapping", "helr", "resnet20"]
+
+
+def _options(args: argparse.Namespace, params: CKKSParams) -> WorkloadOptions:
+    """The legacy-level options a CLI invocation describes."""
+    split: Optional[Tuple[int, int]] = None
+    if not args.no_ntt_split:
+        root = 1 << (params.log_n // 2)
+        split = (root, params.n // root)
+    return WorkloadOptions(
+        ntt_split=split,
+        rotation_strategy=args.strategy,
+        r_hyb=args.r_hyb,
+    )
+
+
+def _distinct_segments(
+    workload_names: Sequence[str],
+    params: CKKSParams,
+    options: WorkloadOptions,
+) -> List[Tuple[str, OperatorGraph]]:
+    """(label, primitive graph) per distinct segment across workloads."""
+    from dataclasses import replace
+
+    out: List[Tuple[str, OperatorGraph]] = []
+    seen: Dict[int, bool] = {}
+    primitive_options = replace(options, lowering="primitive")
+    for name in workload_names:
+        workload = WORKLOAD_BUILDERS[name](params, primitive_options)
+        for segment in workload.segments:
+            if id(segment.graph) in seen:
+                continue
+            seen[id(segment.graph)] = True
+            out.append((f"{name}/{segment.name}", segment.graph))
+    return out
+
+
+def _print_stages(label: str, result: PipelineResult) -> None:
+    """Per-stage diff table of one pipeline run."""
+    print(f"{label}:")
+    prev_ops = result.source.graph.num_operators
+    print(
+        f"  source               level={result.source.level} "
+        f"ops={prev_ops} fp={result.source.fingerprint[:12]}"
+    )
+    for stage in result.stages:
+        ops = stage.graph.num_operators
+        delta = ops - prev_ops
+        marker = "rewrote" if stage.rewrote else "identity"
+        findings = sum(len(r.diagnostics) for r in stage.reports)
+        print(
+            f"  {stage.pass_name:<20} level={stage.level} "
+            f"ops={ops} ({delta:+d}) fp={stage.fingerprint[:12]} "
+            f"{marker} {stage.seconds * 1e3:.1f}ms "
+            f"findings={findings}"
+        )
+        prev_ops = ops
+
+
+def _cmd_ls() -> int:
+    """The ``ls`` subcommand."""
+    for p in registered_passes():
+        print(
+            f"{p.name:<20} {p.source.value:>9} -> {p.target.value:<10} "
+            f"{p.description}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """The ``run`` subcommand."""
+    params = parameter_set(args.params)
+    options = _options(args, params)
+    reports = []
+    failed = False
+    for label, graph in _distinct_segments(args.workloads, params, options):
+        try:
+            result = lower_graph(
+                graph, params, options, invariants=args.invariants
+            ).result
+        except VerificationError as exc:
+            print(f"{label}: INVARIANT FAILURE: {exc}")
+            failed = True
+            continue
+        reports.extend(result.reports)
+        if args.json:
+            continue
+        _print_stages(label, result)
+    if args.json:
+        print(json.dumps(reports_document(reports), indent=2))
+    document = reports_document(reports)
+    if not args.json:
+        print(
+            f"lowered with {document['errors']} error(s), "
+            f"{document['warnings']} warning(s)"
+        )
+    if failed or document["errors"]:
+        return EXIT_VERIFY
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    """The ``dump`` subcommand."""
+    params = parameter_set(args.params)
+    options = _options(args, params)
+    level = Level(args.level)
+    for label, graph in _distinct_segments(args.workloads, params, options):
+        shown = graph
+        if level is not Level.PRIMITIVE:
+            shown = lower_graph(
+                graph, params, options, invariants="off"
+            ).result.graph
+        print(f"== {label} @ {level} ({shown.num_operators} ops) ==")
+        for op in shown.operators_topological():
+            ins = ", ".join(t.name for t in op.inputs)
+            outs = ", ".join(t.name for t in op.outputs)
+            print(f"  {op.name:<40} {op.kind.value:<12} [{ins}] -> [{outs}]")
+    return 0
+
+
+def _cmd_diff_artifacts(args: argparse.Namespace) -> int:
+    """The ``diff-artifacts`` subcommand (byte-identity across builds).
+
+    Compares two experiment-runner artifact files cell by cell on the
+    deterministic ``(status, output)`` payload — the check CI runs on a
+    ``REPRO_LOWERING=legacy`` vs ``REPRO_LOWERING=pipeline`` pair.
+    """
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)["cells"]
+    with open(args.candidate, encoding="utf-8") as fh:
+        candidate = json.load(fh)["cells"]
+    if set(baseline) != set(candidate):
+        only_a = sorted(set(baseline) - set(candidate))
+        only_b = sorted(set(candidate) - set(baseline))
+        print(f"cell sets diverge: only-baseline={only_a} "
+              f"only-candidate={only_b}")
+        return EXIT_VERIFY
+    diverged = 0
+    for name in sorted(baseline):
+        a, b = baseline[name], candidate[name]
+        if (a["status"], a["output"]) != (b["status"], b["output"]):
+            print(f"{name}: DIVERGED")
+            diverged += 1
+    print(
+        f"diff-artifacts: {len(baseline)} cell(s), {diverged} divergence(s)"
+    )
+    return EXIT_VERIFY if diverged else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """The ``verify`` subcommand (pipeline-vs-legacy oracle)."""
+    params = parameter_set(args.params)
+    options = _options(args, params)
+    reports = []
+    mismatches = 0
+    legacy_by_label: Dict[str, OperatorGraph] = {}
+    seen: Dict[int, bool] = {}
+    for name in args.workloads:
+        workload = WORKLOAD_BUILDERS[name](params, options)
+        for segment in workload.segments:
+            if id(segment.graph) in seen:
+                continue
+            seen[id(segment.graph)] = True
+            legacy_by_label[f"{name}/{segment.name}"] = segment.graph
+    for label, graph in _distinct_segments(args.workloads, params, options):
+        result = lower_graph(
+            graph, params, options, invariants="warn"
+        ).result
+        reports.extend(result.reports)
+        legacy = legacy_by_label.get(label)
+        if legacy is None:
+            print(f"{label}: no legacy counterpart segment")
+            mismatches += 1
+            continue
+        why = structural_mismatch(result.graph, legacy)
+        if why is None:
+            print(f"{label}: pipeline == legacy ({legacy.num_operators} ops)")
+        else:
+            print(f"{label}: MISMATCH: {why}")
+            mismatches += 1
+    document = reports_document(reports)
+    print(
+        f"verify: {mismatches} mismatch(es), {document['errors']} "
+        f"error finding(s), {document['warnings']} warning(s)"
+    )
+    if mismatches or document["errors"]:
+        return EXIT_VERIFY
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.passes",
+        description="Run and inspect the verified lowering pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ls", help="print the registered pass catalog")
+
+    def _common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "workloads", nargs="*", default=_DEFAULT_WORKLOADS,
+            help="workloads to lower (default: the shipped three)",
+        )
+        p.add_argument(
+            "--params", default="ARK", help="CKKS parameter set name"
+        )
+        p.add_argument(
+            "--strategy", default="hybrid",
+            help="rotation strategy of the build",
+        )
+        p.add_argument(
+            "--r-hyb", type=int, default=4,
+            help="hybrid coarse-step distance",
+        )
+        p.add_argument(
+            "--no-ntt-split", action="store_true",
+            help="keep NTTs monolithic (skip the decompose-ntt split)",
+        )
+
+    run_p = sub.add_parser(
+        "run", help="lower workloads and print per-stage diagnostics"
+    )
+    _common(run_p)
+    run_p.add_argument(
+        "--invariants", default="error",
+        choices=("error", "warn", "off"),
+        help="inter-pass invariant mode",
+    )
+    run_p.add_argument(
+        "--json", action="store_true",
+        help="emit the shared verification JSON document",
+    )
+
+    dump_p = sub.add_parser(
+        "dump", help="print segment graphs at a lowering level"
+    )
+    _common(dump_p)
+    dump_p.add_argument(
+        "--level", default="decomposed",
+        choices=("primitive", "decomposed"),
+        help="which level snapshot to print",
+    )
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="require pipeline output structurally identical to the "
+        "legacy one-shot build",
+    )
+    _common(verify_p)
+
+    diff_p = sub.add_parser(
+        "diff-artifacts",
+        help="require two runner artifact files byte-identical per cell",
+    )
+    diff_p.add_argument("baseline", help="baseline artifact JSON")
+    diff_p.add_argument("candidate", help="candidate artifact JSON")
+
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "ls":
+        return _cmd_ls()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "dump":
+        return _cmd_dump(args)
+    if args.command == "diff-artifacts":
+        return _cmd_diff_artifacts(args)
+    return _cmd_verify(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Shared state threaded through a pass pipeline run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.fhe.params import CKKSParams
+from repro.ir.builders import ConstantPool
+from repro.ir.graph import OperatorGraph
+from repro.ir.tensors import TensorKind
+from repro.workloads.base import WorkloadOptions
+
+__all__ = ["LoweringContext"]
+
+
+@dataclass
+class LoweringContext:
+    """Everything a rewrite needs beyond the graph itself.
+
+    The context owns the :class:`~repro.ir.builders.ConstantPool` that
+    every expansion emitter writes through, so constants (twiddle
+    factors, evaluation keys, base-conversion matrices) stay shared
+    across passes exactly as the one-shot legacy builders share them
+    within a single build.
+
+    Attributes:
+        params: CKKS parameter set of the graph being lowered.
+        options: the workload build options; ``options.ntt_split``
+            drives the decompose-ntt pass.
+        pool: constant pool shared by all emitters in this run.
+        pass_log: ordered (pass name, rewrote anything) records.
+        diagnostics: findings the rewrites themselves emit (e.g. the
+            P002 off-catalog-split warning); the pipeline folds this
+            into its inter-pass reports.
+    """
+
+    params: CKKSParams
+    options: WorkloadOptions
+    pool: ConstantPool = field(init=False)
+    pass_log: List[Tuple[str, bool]] = field(default_factory=list)
+    diagnostics: DiagnosticReport = field(
+        default_factory=lambda: DiagnosticReport(pass_name="passes.rewrites")
+    )
+
+    def __post_init__(self) -> None:
+        self.pool = ConstantPool(self.params)
+
+    def seed_constants(self, graph: OperatorGraph) -> None:
+        """Adopt a graph's twiddle constants into the pool.
+
+        Primitive-level graphs carry monolithic-NTT twiddle tensors;
+        seeding them keeps the decompose-ntt rewrite from minting fresh
+        tensors for lengths the build already materialised, which in
+        turn keeps the lowered graph byte-identical to a legacy
+        ``lowering="full"`` build that resolved every twiddle through
+        one per-builder pool.
+        """
+        for tensor in graph.constant_tensors():
+            if tensor.kind is TensorKind.TWIDDLE:
+                self.pool.seed_twiddles(tensor)
+
+    def record_pass(self, name: str, rewritten: bool) -> None:
+        """Append one pass outcome to the log."""
+        self.pass_log.append((name, rewritten))
+
+    @property
+    def rewrites_applied(self) -> int:
+        """Number of passes that produced a new graph."""
+        return sum(1 for _, rewrote in self.pass_log if rewrote)
+
+    def summary(self) -> Dict[str, Optional[bool]]:
+        """Pass name -> whether it rewrote anything (last run wins)."""
+        out: Dict[str, Optional[bool]] = {}
+        for name, rewrote in self.pass_log:
+            out[name] = rewrote
+        return out

@@ -1,0 +1,157 @@
+"""Workload-level entry point: build primitive, lower through the pipeline.
+
+:func:`lower_workload` is what the experiment runner calls instead of
+invoking a workload builder directly: it builds the workload at the
+*primitive* level and lowers every distinct segment graph through the
+standard :class:`~repro.passes.pipeline.PassPipeline`, memoizing
+lowered graphs on a **per-level fingerprint** — the structural
+fingerprint of the primitive graph plus the lowering-relevant
+parameters.  Structurally identical segments therefore lower once per
+process *across workloads* (HELR and ResNet-20 reuse bootstrapping's
+segment graphs), and because the memo returns the same graph object,
+every downstream cache keyed on the decomposed graph's fingerprint
+(schedule cache, plan memo) shares hits the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.dse.fingerprint import (
+    FORMAT_VERSION,
+    digest,
+    graph_fingerprint,
+    params_payload,
+)
+from repro.fhe.params import CKKSParams
+from repro.ir.graph import OperatorGraph
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.passes.pipeline import PassPipeline, PipelineResult
+from repro.workloads import WORKLOAD_BUILDERS
+from repro.workloads.base import Workload, WorkloadOptions, WorkloadSegment
+
+__all__ = [
+    "LoweredSegment",
+    "clear_lowering_memo",
+    "lower_graph",
+    "lower_workload",
+    "lowering_key",
+]
+
+
+@dataclass
+class LoweredSegment:
+    """One memoized lowering: the pipeline result plus its memo key."""
+
+    key: str
+    result: PipelineResult
+
+
+#: Process-wide memo: lowering key -> lowered segment.  Cleared by
+#: :func:`clear_lowering_memo` (hooked into the experiment runner's
+#: ``clear_cache``).
+_MEMO: Dict[str, LoweredSegment] = {}
+
+
+def clear_lowering_memo() -> None:
+    """Drop all memoized lowerings (test isolation)."""
+    _MEMO.clear()
+
+
+def lowering_key(
+    graph: OperatorGraph,
+    params: CKKSParams,
+    ntt_split: Optional[Tuple[int, int]],
+) -> str:
+    """The per-level memo key of one lowering.
+
+    Keyed on the *primitive*-level structural fingerprint plus the
+    parameters and the split the decompose-ntt pass will apply (the
+    split is not represented in the primitive graph, so it must be part
+    of the key).  Rotation strategy and ``r_hyb`` need no slot of their
+    own: they are structural attributes of the primitive graph's
+    ``ROT_BATCH`` operators and already shape its fingerprint.
+
+    The structural fingerprint is name/tag-free, but lowered operator
+    names derive from the source operators' tags — two structurally
+    identical segments with different tags (CoeffToSlot vs SlotToCoeff)
+    must lower to *differently named* graphs to stay byte-identical
+    with the legacy build — so the key also folds in the insertion-
+    order (name, tag) labels.
+    """
+    return digest({
+        "kind": "lowering",
+        "version": FORMAT_VERSION,
+        "level": "primitive",
+        "graph": graph_fingerprint(graph),
+        "labels": [(op.name, op.tag) for op in graph.operators],
+        "params": params_payload(params),
+        "ntt_split": list(ntt_split) if ntt_split else None,
+    })
+
+
+def lower_graph(
+    graph: OperatorGraph,
+    params: CKKSParams,
+    options: WorkloadOptions,
+    invariants: str = "error",
+) -> LoweredSegment:
+    """Lower one primitive-level graph, memoized per lowering key."""
+    key = lowering_key(graph, params, options.ntt_split)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        if _METRICS.enabled:
+            _METRICS.counter("passes.memo.hits").inc()
+        return hit
+    if _METRICS.enabled:
+        _METRICS.counter("passes.memo.misses").inc()
+    pipeline = PassPipeline(params, options, invariants=invariants)
+    lowered = LoweredSegment(key=key, result=pipeline.run(graph))
+    _MEMO[key] = lowered
+    return lowered
+
+
+def lower_workload(
+    name: str,
+    params: CKKSParams,
+    options: WorkloadOptions,
+    invariants: str = "error",
+) -> Workload:
+    """Build a workload at the primitive level and lower it.
+
+    Drop-in replacement for ``WORKLOAD_BUILDERS[name](params, options)``
+    producing structurally identical (hence byte-identical downstream)
+    segment graphs through the verified pipeline.  Segments that share
+    one graph object at the primitive level share one lowered graph
+    object too.
+
+    Args:
+        name: workload name (a :data:`~repro.workloads.WORKLOAD_BUILDERS`
+            key).
+        options: the *legacy* options; the primitive build derives from
+            them with ``lowering="primitive"``.
+        invariants: inter-pass invariant mode (see
+            :data:`~repro.passes.pipeline.INVARIANT_MODES`).
+    """
+    primitive = WORKLOAD_BUILDERS[name](
+        params, replace(options, lowering="primitive")
+    )
+    lowered_by_id: Dict[int, OperatorGraph] = {}
+    segments: List[WorkloadSegment] = []
+    for segment in primitive.segments:
+        graph = lowered_by_id.get(id(segment.graph))
+        if graph is None:
+            graph = lower_graph(
+                segment.graph, params, options, invariants=invariants
+            ).result.graph
+            lowered_by_id[id(segment.graph)] = graph
+        segments.append(
+            WorkloadSegment(segment.name, graph, segment.repeat)
+        )
+    return Workload(
+        name=primitive.name,
+        params=params,
+        segments=segments,
+        description=primitive.description,
+    )

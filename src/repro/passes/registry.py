@@ -1,0 +1,120 @@
+"""A closed, named catalog of graph-to-graph lowering rewrites.
+
+Every rewrite in the pipeline is registered here with a declared source
+and target :class:`~repro.passes.levels.Level`; the
+:class:`~repro.passes.pipeline.PassPipeline` refuses to run passes out
+of level order, and the ``python -m repro.passes ls`` CLI prints this
+catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.graph import OperatorGraph
+from repro.passes.context import LoweringContext
+from repro.passes.levels import Level
+from repro.resilience.errors import ConfigError
+
+__all__ = ["Pass", "register_pass", "get_pass", "registered_passes"]
+
+#: A rewrite maps (input graph, context) to an output graph.  Identity
+#: rewrites may return the input graph object unchanged.
+Rewrite = Callable[[OperatorGraph, LoweringContext], OperatorGraph]
+
+#: A postcondition inspects a rewrite's output and returns a violation
+#: message (reported as a P001 diagnostic by the pipeline) or ``None``.
+Postcondition = Callable[[OperatorGraph, LoweringContext], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One registered lowering rewrite.
+
+    Attributes:
+        name: unique catalog key (kebab-case).
+        source: level the input graph must be at (or below, for
+            idempotent cleanup passes that tolerate already-lowered
+            input).
+        target: level the output graph is guaranteed to be at; the
+            pipeline's P001 invariant enforces this.
+        rewrite: the graph-to-graph function.
+        description: one-line summary shown by ``python -m repro.passes ls``.
+        postcondition: optional output check; a violation surfaces as a
+            P001 diagnostic in the pipeline's inter-pass verification.
+    """
+
+    name: str
+    source: Level
+    target: Level
+    rewrite: Rewrite = field(repr=False)
+    description: str = ""
+    postcondition: Optional[Postcondition] = field(
+        default=None, repr=False
+    )
+
+    def apply(self, graph: OperatorGraph, ctx: LoweringContext) -> OperatorGraph:
+        """Run the rewrite, counting it in the context."""
+        out = self.rewrite(graph, ctx)
+        ctx.record_pass(self.name, rewritten=out is not graph)
+        return out
+
+
+_REGISTRY: Dict[str, Pass] = {}
+
+
+def register_pass(
+    name: str,
+    source: Level,
+    target: Level,
+    description: str = "",
+    postcondition: Optional[Postcondition] = None,
+) -> Callable[[Rewrite], Rewrite]:
+    """Decorator registering a rewrite under ``name``.
+
+    Raises:
+        ConfigError: on a duplicate name or a level-raising pass
+            (passes may only keep or lower the level).
+    """
+    if name in _REGISTRY:
+        raise ConfigError("name", name, "pass already registered")
+    if target.rank < source.rank:
+        raise ConfigError(
+            "target", target.value,
+            f"pass {name!r} may not raise the level above {source.value}",
+        )
+
+    def _register(rewrite: Rewrite) -> Rewrite:
+        _REGISTRY[name] = Pass(
+            name=name,
+            source=source,
+            target=target,
+            rewrite=rewrite,
+            description=description,
+            postcondition=postcondition,
+        )
+        return rewrite
+
+    return _register
+
+
+def get_pass(name: str) -> Pass:
+    """Look up a registered pass.
+
+    Raises:
+        ConfigError: for an unknown name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            "pass", name, f"unknown pass; registered: {known}"
+        ) from None
+
+
+def registered_passes() -> Tuple[Pass, ...]:
+    """All registered passes in registration order."""
+    passes: List[Pass] = list(_REGISTRY.values())
+    return tuple(passes)

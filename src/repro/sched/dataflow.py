@@ -195,14 +195,18 @@ class SpatialGroupPlan:
             remaining -= 1
         if remaining > 0 and total_load > 0:
             fractional = []
-            for op in compute_ops:
+            for pos, op in enumerate(compute_ops):
                 share = remaining * loads[op.uid] / total_load
                 extra = int(share)
                 alloc[op.uid] += extra
-                fractional.append((share - extra, op.uid))
+                # Tie-break leftover PEs by window position, not uid:
+                # structurally congruent windows must allocate
+                # identically regardless of how their graphs were built
+                # (the plan memo rebinds skeletons by position).
+                fractional.append((share - extra, pos, op.uid))
             leftover = remaining - sum(int(remaining * loads[u] / total_load)
                                        for u in loads)
-            for _, uid in sorted(fractional, reverse=True)[:leftover]:
+            for _, _, uid in sorted(fractional, reverse=True)[:leftover]:
                 alloc[uid] += 1
         return alloc
 

@@ -12,6 +12,12 @@ from repro.resilience.errors import ConfigError
 #: Baby-step strategies the graph builders implement.
 ROTATION_STRATEGIES = ("plain", "min-ks", "hoisting", "hybrid")
 
+#: Build-time lowering modes a workload can be emitted at: ``"full"``
+#: builds the historical fully decomposed graphs; ``"primitive"`` keeps
+#: key switches and baby-rotation batches as coarse operators for the
+#: :mod:`repro.passes` pipeline to lower.
+WORKLOAD_LOWERINGS = ("full", "primitive")
+
 
 @dataclass(frozen=True)
 class WorkloadOptions:
@@ -25,11 +31,17 @@ class WorkloadOptions:
         r_hyb: hybrid coarse-step distance (the Section V-C parameter;
             the experiment driver enumerates a few values and keeps the
             fastest, mirroring the per-graph enumeration of Section V-D).
+        lowering: emission level, one of :data:`WORKLOAD_LOWERINGS` —
+            ``"primitive"`` builds coarse graphs for the
+            :mod:`repro.passes` pipeline to lower (``ntt_split`` is then
+            recorded but applied by the decompose-ntt rewrite instead of
+            at build time).
     """
 
     ntt_split: Optional[Tuple[int, int]] = None
     rotation_strategy: str = "hybrid"
     r_hyb: int = 4
+    lowering: str = "full"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -44,6 +56,11 @@ class WorkloadOptions:
             raise ConfigError(
                 "rotation_strategy", self.rotation_strategy,
                 f"choose from {ROTATION_STRATEGIES}",
+            )
+        if self.lowering not in WORKLOAD_LOWERINGS:
+            raise ConfigError(
+                "lowering", self.lowering,
+                f"choose from {WORKLOAD_LOWERINGS}",
             )
         if not isinstance(self.r_hyb, int) or self.r_hyb < 1:
             raise ConfigError(

@@ -40,7 +40,9 @@ def _mod_raise_segment(
     One iNTT of the single remaining limb, a 1 -> L+1 BConv, and the
     forward NTT over the new basis.
     """
-    b = GraphBuilder(params, ntt_split=options.ntt_split)
+    b = GraphBuilder(
+        params, ntt_split=options.ntt_split, lowering=options.lowering,
+    )
     limbs = params.max_level + 1
     src = b.input_ciphertext("boot.in", 0)
     for poly_t, side in ((src.b, "b"), (src.a, "a")):
@@ -69,7 +71,9 @@ def _transform_segment(
     name: str,
 ) -> WorkloadSegment:
     """One CoeffToSlot/SlotToCoeff stage: a BSGS matmul at ``level``."""
-    b = GraphBuilder(params, ntt_split=options.ntt_split)
+    b = GraphBuilder(
+        params, ntt_split=options.ntt_split, lowering=options.lowering,
+    )
     ct = b.input_ciphertext(f"{name}.in", level)
     b.bsgs_matvec(
         ct,
@@ -86,7 +90,9 @@ def _evalmod_step_segment(
     params: CKKSParams, options: WorkloadOptions, level: int
 ) -> WorkloadSegment:
     """One EvalMod step: HMult + CMult + rescale at a mid level."""
-    b = GraphBuilder(params, ntt_split=options.ntt_split)
+    b = GraphBuilder(
+        params, ntt_split=options.ntt_split, lowering=options.lowering,
+    )
     x = b.input_ciphertext("em.x", level)
     y = b.input_ciphertext("em.y", level)
     prod = b.hmult(x, y, tag="em.hmult")

@@ -38,7 +38,9 @@ def _gradient_segment(
     params: CKKSParams, options: WorkloadOptions, level: int
 ) -> WorkloadSegment:
     """Inner products + sigmoid + gradient update for one batch chunk."""
-    b = GraphBuilder(params, ntt_split=options.ntt_split)
+    b = GraphBuilder(
+        params, ntt_split=options.ntt_split, lowering=options.lowering,
+    )
     w = b.input_ciphertext("helr.w", level)
     x = b.input_ciphertext("helr.x", level)
     # w . x per sample: HMult then a rotate-and-sum tree over features.

@@ -34,7 +34,9 @@ def _conv_segment(
     params: CKKSParams, options: WorkloadOptions, level: int
 ) -> WorkloadSegment:
     """One convolution kernel as a BSGS plaintext matmul."""
-    b = GraphBuilder(params, ntt_split=options.ntt_split)
+    b = GraphBuilder(
+        params, ntt_split=options.ntt_split, lowering=options.lowering,
+    )
     ct = b.input_ciphertext("conv.in", level)
     b.bsgs_matvec(
         ct,
@@ -51,7 +53,9 @@ def _relu_segment(
     params: CKKSParams, options: WorkloadOptions, level: int
 ) -> WorkloadSegment:
     """Degree-27 polynomial ReLU: HMult + CMult + rescale chain."""
-    b = GraphBuilder(params, ntt_split=options.ntt_split)
+    b = GraphBuilder(
+        params, ntt_split=options.ntt_split, lowering=options.lowering,
+    )
     x = b.input_ciphertext("relu.x", level)
     y = b.input_ciphertext("relu.y", level)
     prod = b.hmult(x, y, tag="relu.hmult")

@@ -14,7 +14,7 @@ from repro.analysis.diagnostics import (
 class TestCatalog:
     def test_rule_families_present(self):
         families = {rid[0] for rid in RULES}
-        assert families == {"G", "C", "S", "L", "F", "D"}
+        assert families == {"G", "C", "S", "L", "F", "D", "P"}
 
     def test_expected_rule_ids(self):
         for rid in ["G001", "G002", "G003", "G004", "G005",
@@ -22,6 +22,7 @@ class TestCatalog:
                     "S001", "S002", "S003", "S004", "S005", "S006",
                     "S007", "S008", "S009", "L001", "L002",
                     "F001", "F002", "F003", "F004",
+                    "P001", "P002",
                     "D001", "D002", "D003", "D004", "D005"]:
             assert rid in RULES
 

@@ -1,0 +1,32 @@
+"""Shared fixtures for the lowering-pipeline tests."""
+
+import pytest
+
+from repro.fhe.params import make_concrete_params
+from repro.obs.metrics import REGISTRY
+from repro.passes import clear_lowering_memo
+
+
+@pytest.fixture(autouse=True)
+def _fresh_lowering_memo():
+    """Isolate every test from the process-wide lowering memo."""
+    clear_lowering_memo()
+    yield
+    clear_lowering_memo()
+
+
+@pytest.fixture(scope="session")
+def deep_params():
+    """Small-ring params deep enough to build all three workloads."""
+    return make_concrete_params(log_n=6, max_level=12, alpha=2)
+
+
+@pytest.fixture()
+def metrics():
+    """Metrics registry on for the test; prior global state restored."""
+    was = REGISTRY.enabled
+    REGISTRY.reset()
+    REGISTRY.enable()
+    yield REGISTRY
+    REGISTRY.reset()
+    REGISTRY.enabled = was

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro.passes`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import EXIT_VERIFY
+from repro.fhe.params import PARAMETER_SETS
+from repro.passes.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _small_parameter_set(monkeypatch, deep_params):
+    """Expose the quick test params under a CLI-addressable name."""
+    monkeypatch.setitem(PARAMETER_SETS, "TESTSMALL", deep_params)
+
+
+def _argv(command, *extra):
+    return [command, "bootstrapping", "--params", "TESTSMALL", *extra]
+
+
+class TestLs:
+    def test_lists_the_catalog(self, capsys):
+        assert main(["ls"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lower-rotations", "lower-keyswitch", "decompose-ntt"):
+            assert name in out
+        assert "primitive" in out and "decomposed" in out
+
+
+class TestRun:
+    def test_reports_stages(self, capsys):
+        assert main(_argv("run")) == 0
+        out = capsys.readouterr().out
+        assert "bootstrapping/mod_raise" in out
+        assert "lower-keyswitch" in out
+        assert "0 error(s)" in out
+
+    def test_json_document(self, capsys):
+        assert main(_argv("run", "--json")) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] == 0
+        assert "reports" in document
+
+
+class TestDump:
+    def test_primitive_level_keeps_coarse_ops(self, capsys):
+        assert main(_argv("dump", "--level", "primitive")) == 0
+        out = capsys.readouterr().out
+        assert "@ primitive" in out
+        assert "key_switch" in out
+
+    def test_decomposed_level_is_expanded(self, capsys):
+        assert main(_argv("dump", "--level", "decomposed")) == 0
+        out = capsys.readouterr().out
+        assert "@ decomposed" in out
+        assert "key_switch" not in out
+        assert "bconv" in out
+
+
+class TestVerify:
+    def test_pipeline_matches_legacy(self, capsys):
+        assert main(_argv("verify")) == 0
+        out = capsys.readouterr().out
+        assert "pipeline == legacy" in out
+        assert "0 mismatch(es)" in out
+
+    def test_unknown_params_still_fail_loudly(self):
+        with pytest.raises(KeyError):
+            main(["run", "bootstrapping", "--params", "NOPE"])
+
+
+def test_exit_verify_is_distinct():
+    assert EXIT_VERIFY == 5

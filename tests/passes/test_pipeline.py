@@ -1,0 +1,207 @@
+"""Tests for the PassPipeline runner: invariants, telemetry, memo keys."""
+
+import pytest
+
+from repro.dse.fingerprint import graph_fingerprint, schedule_fingerprint
+from repro.hw.config import CROPHE_64
+from repro.ir.builders import GraphBuilder
+from repro.passes import (
+    Level,
+    PassPipeline,
+    lower_graph,
+    lower_workload,
+    lowering_key,
+)
+from repro.passes.registry import _REGISTRY, Pass
+from repro.resilience.errors import VerificationError
+from repro.sched.plan_memo import MEMO
+from repro.sched.scheduler import Scheduler
+from repro.workloads.base import WorkloadOptions
+
+SPLIT = (8, 8)
+
+
+def _primitive_graph(params, tag="t"):
+    b = GraphBuilder(params, lowering="primitive")
+    ct0 = b.input_ciphertext(f"{tag}.x", 3)
+    ct1 = b.input_ciphertext(f"{tag}.y", 3)
+    b.rescale(b.hmult(ct0, ct1, f"{tag}.m"), f"{tag}.rs")
+    return b.graph
+
+
+def _options(split=SPLIT):
+    return WorkloadOptions(
+        ntt_split=split, rotation_strategy="hybrid", r_hyb=4
+    )
+
+
+class TestStages:
+    def test_stage_results_recorded(self, small_params):
+        result = PassPipeline(small_params, _options()).run(
+            _primitive_graph(small_params)
+        )
+        assert result.source.level is Level.PRIMITIVE
+        assert [s.pass_name for s in result.stages] == [
+            "lower-rotations", "lower-keyswitch", "decompose-ntt"
+        ]
+        assert result.level is Level.DECOMPOSED
+        assert result.ok
+        for stage in result.stages:
+            assert stage.seconds >= 0.0
+            assert stage.fingerprint
+
+    def test_level_fingerprints_key_each_level(self, small_params):
+        result = PassPipeline(small_params, _options()).run(
+            _primitive_graph(small_params)
+        )
+        fps = result.level_fingerprints
+        assert set(fps) == {"primitive", "decomposed"}
+        assert fps["primitive"] == result.source.fingerprint
+        assert fps["decomposed"] == graph_fingerprint(result.graph)
+        assert fps["primitive"] != fps["decomposed"]
+
+
+class TestInvariantModes:
+    @pytest.fixture()
+    def broken_pass(self, monkeypatch):
+        """A registered pass whose P001 postcondition always fires."""
+        monkeypatch.setitem(
+            _REGISTRY,
+            "broken-post",
+            Pass(
+                name="broken-post",
+                source=Level.PRIMITIVE,
+                target=Level.PRIMITIVE,
+                rewrite=lambda graph, ctx: graph.clone(),
+                description="test-only: clone and claim a violation",
+                postcondition=lambda graph, ctx: "deliberate violation",
+            ),
+        )
+        return "broken-post"
+
+    def test_error_mode_raises(self, small_params, broken_pass):
+        pipeline = PassPipeline(
+            small_params, passes=(broken_pass,), invariants="error"
+        )
+        with pytest.raises(VerificationError, match="P001"):
+            pipeline.run(_primitive_graph(small_params))
+
+    def test_warn_mode_records_and_continues(self, small_params, broken_pass):
+        pipeline = PassPipeline(
+            small_params, passes=(broken_pass,), invariants="warn"
+        )
+        result = pipeline.run(_primitive_graph(small_params))
+        assert not result.ok
+        rules = [d.rule for r in result.reports for d in r.errors]
+        assert "P001" in rules
+
+    def test_off_mode_skips_graph_verifiers(self, small_params, broken_pass):
+        pipeline = PassPipeline(
+            small_params, passes=(broken_pass,), invariants="off"
+        )
+        result = pipeline.run(_primitive_graph(small_params))
+        assert not result.source.reports  # source battery skipped
+        # The P001 postcondition is structural to the pass and still runs.
+        names = [r.pass_name for r in result.reports]
+        assert names == ["broken-post postcondition"]
+
+    def test_clean_run_reports_no_errors(self, small_params):
+        result = PassPipeline(
+            small_params, _options(), invariants="error"
+        ).run(_primitive_graph(small_params))
+        assert result.ok
+        assert all(r.ok for r in result.reports)
+
+
+class TestTelemetry:
+    def test_counters_and_spans(self, small_params, metrics):
+        PassPipeline(small_params, _options()).run(
+            _primitive_graph(small_params)
+        )
+        snap = metrics.snapshot()
+        assert snap["passes.pipeline.runs"]["value"] == 1
+        assert snap["passes.invariants{status=clean}"]["value"] >= 4
+        assert "passes.invariants{status=dirty}" not in snap
+        for name in ("lower-rotations", "lower-keyswitch", "decompose-ntt"):
+            assert f"passes.rewrites{{kind={name}}}" in snap
+            assert snap[f"passes.pass_seconds{{kind={name}}}"]["count"] == 1
+        # rescale's key switch + split NTTs rewrite; no rotations here.
+        assert snap["passes.rewrites{kind=lower-rotations}"]["value"] == 0
+        assert snap["passes.rewrites{kind=lower-keyswitch}"]["value"] == 1
+
+
+class TestLoweringMemo:
+    def test_same_key_same_object(self, small_params, metrics):
+        options = _options()
+        first = lower_graph(
+            _primitive_graph(small_params), small_params, options
+        )
+        second = lower_graph(
+            _primitive_graph(small_params), small_params, options
+        )
+        assert second is first
+        snap = metrics.snapshot()
+        assert snap["passes.memo.misses"]["value"] == 1
+        assert snap["passes.memo.hits"]["value"] == 1
+
+    def test_tags_split_the_key(self, small_params):
+        # Structural fingerprints ignore names/tags, but lowered operator
+        # names derive from tags — the memo key must tell them apart.
+        a = _primitive_graph(small_params, tag="a")
+        b = _primitive_graph(small_params, tag="b")
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+        assert lowering_key(a, small_params, SPLIT) != lowering_key(
+            b, small_params, SPLIT
+        )
+
+    def test_split_is_part_of_the_key(self, small_params):
+        g = _primitive_graph(small_params)
+        assert lowering_key(g, small_params, None) != lowering_key(
+            g, small_params, SPLIT
+        )
+
+
+class TestCrossWorkloadSharing:
+    def test_helr_reuses_bootstrapping_lowerings(self, deep_params, metrics):
+        options = _options()
+        boot = lower_workload("bootstrapping", deep_params, options)
+        hits_before = metrics.snapshot()["passes.memo.hits"]["value"]
+        helr = lower_workload("helr", deep_params, options)
+        hits_after = metrics.snapshot()["passes.memo.hits"]["value"]
+        assert hits_after > hits_before
+        # Shared segments lower to the *same object*, so every cache
+        # keyed on the decomposed-level fingerprint shares downstream.
+        boot_by_name = {s.name: s.graph for s in boot.segments}
+        shared = [
+            s for s in helr.segments if s.name in boot_by_name
+        ]
+        assert shared
+        for segment in shared:
+            assert segment.graph is boot_by_name[segment.name]
+
+    def test_plan_memo_hits_across_workloads(self, deep_params):
+        options = _options()
+        boot = lower_workload("bootstrapping", deep_params, options)
+        helr = lower_workload("helr", deep_params, options)
+        seg_b = next(
+            s.graph for s in boot.segments if s.name == "mod_raise"
+        )
+        seg_h = next(
+            s.graph for s in helr.segments if s.name == "mod_raise"
+        )
+        sched_b = Scheduler(seg_b, CROPHE_64, n_split=SPLIT)
+        sched_h = Scheduler(seg_h, CROPHE_64, n_split=SPLIT)
+        # Both workloads key their plans on the same decomposed-level
+        # fingerprint...
+        assert schedule_fingerprint(
+            seg_b, CROPHE_64, "crophe", sched_b.config, SPLIT
+        ) == schedule_fingerprint(
+            seg_h, CROPHE_64, "crophe", sched_h.config, SPLIT
+        )
+        # ...so scheduling HELR's segment after bootstrapping's hits the
+        # plan memo instead of re-running plan construction.
+        sched_b.schedule()
+        mid = MEMO.snapshot()
+        sched_h.schedule()
+        after = MEMO.snapshot()
+        assert after["memo_hit"] > mid["memo_hit"]

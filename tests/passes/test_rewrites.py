@@ -1,0 +1,141 @@
+"""Per-pass golden tests: pipeline output is byte-identical to legacy.
+
+The oracle is :func:`repro.ir.graph.structural_mismatch` (insertion
+order + signatures + tags + sharing pattern) plus fingerprint equality;
+every downstream artifact (windows, schedules, simulated counters) is a
+deterministic function of what these two pin down.
+"""
+
+import pytest
+
+from repro.dse.fingerprint import graph_fingerprint
+from repro.ir.builders import GraphBuilder
+from repro.ir.graph import structural_mismatch
+from repro.ir.operators import OpKind
+from repro.passes import Level, PassPipeline, lower_workload
+from repro.workloads import WORKLOAD_BUILDERS
+from repro.workloads.base import WorkloadOptions
+
+QUICK_WORKLOADS = ("bootstrapping", "helr", "resnet20")
+
+
+def _build(params, lowering, strategy, r_hyb, split):
+    """One hmult + rescale + small BSGS, at the requested level."""
+    b = GraphBuilder(params, ntt_split=split, lowering=lowering)
+    ct0 = b.input_ciphertext("x", 3)
+    ct1 = b.input_ciphertext("y", 3)
+    ct = b.rescale(b.hmult(ct0, ct1, "m"), "rs")
+    b.bsgs_matvec(ct, 4, 2, strategy=strategy, r_hyb=r_hyb, tag="mv")
+    return b.graph
+
+
+def _lower(graph, params, split, invariants="error"):
+    options = WorkloadOptions(ntt_split=split)
+    return PassPipeline(params, options, invariants=invariants).run(graph)
+
+
+class TestPerPassGoldens:
+    def test_lower_rotations_removes_rot_batches(self, small_params):
+        graph = _build(small_params, "primitive", "hybrid", 2, None)
+        assert any(
+            op.kind is OpKind.ROT_BATCH for op in graph.operators
+        )
+        result = PassPipeline(
+            small_params, passes=("lower-rotations",)
+        ).run(graph)
+        kinds = {op.kind for op in result.graph.operators}
+        assert OpKind.ROT_BATCH not in kinds
+        # Key switches stay coarse: still a primitive-level graph.
+        assert OpKind.KEY_SWITCH in kinds
+        assert result.level is Level.PRIMITIVE
+
+    def test_lower_keyswitch_reaches_decomposed(self, small_params):
+        graph = _build(small_params, "primitive", "hybrid", 2, None)
+        result = PassPipeline(
+            small_params, passes=("lower-rotations", "lower-keyswitch")
+        ).run(graph)
+        assert not any(
+            op.kind.is_coarse for op in result.graph.operators
+        )
+        assert result.level is Level.DECOMPOSED
+
+    def test_decompose_ntt_splits_monolithic_ntts(self, small_params):
+        graph = _build(small_params, "primitive", "hybrid", 2, (8, 8))
+        result = _lower(graph, small_params, (8, 8))
+        kinds = {op.kind for op in result.graph.operators}
+        assert OpKind.NTT not in kinds and OpKind.INTT not in kinds
+        assert OpKind.NTT_ROW in kinds and OpKind.TRANSPOSE in kinds
+
+    def test_no_split_keeps_ntts_monolithic(self, small_params):
+        graph = _build(small_params, "primitive", "hybrid", 2, None)
+        result = _lower(graph, small_params, None)
+        kinds = {op.kind for op in result.graph.operators}
+        assert OpKind.NTT in kinds
+        assert not result.stages[-1].rewrote  # decompose-ntt identity
+
+    def test_identity_pass_returns_same_object(self, small_params):
+        b = GraphBuilder(small_params, lowering="primitive")
+        ct = b.input_ciphertext("x", 3)
+        b.hadd(ct, ct, "s")  # no rotations, no key switches
+        result = PassPipeline(
+            small_params, passes=("lower-rotations",)
+        ).run(b.graph)
+        assert result.graph is b.graph
+        assert not result.stages[0].rewrote
+        assert result.stages[0].fingerprint == result.source.fingerprint
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("split", [None, (8, 8)])
+    @pytest.mark.parametrize(
+        "strategy,r_hyb",
+        [
+            ("plain", 4),
+            ("min-ks", 4),
+            ("hoisting", 4),
+            ("hybrid", 1),
+            ("hybrid", 2),
+            ("hybrid", 4),
+            ("hybrid", 8),
+        ],
+    )
+    def test_strategy_grid(self, small_params, strategy, r_hyb, split):
+        primitive = _build(small_params, "primitive", strategy, r_hyb, split)
+        legacy = _build(small_params, "full", strategy, r_hyb, split)
+        result = _lower(primitive, small_params, split, invariants="warn")
+        assert structural_mismatch(result.graph, legacy) is None
+        assert graph_fingerprint(result.graph) == graph_fingerprint(legacy)
+
+    @pytest.mark.parametrize("workload", QUICK_WORKLOADS)
+    def test_quick_workloads_byte_identical(self, deep_params, workload):
+        options = WorkloadOptions(
+            ntt_split=(8, 8), rotation_strategy="hybrid", r_hyb=4
+        )
+        lowered = lower_workload(workload, deep_params, options)
+        legacy = WORKLOAD_BUILDERS[workload](deep_params, options)
+        assert [s.name for s in lowered.segments] == [
+            s.name for s in legacy.segments
+        ]
+        assert [s.repeat for s in lowered.segments] == [
+            s.repeat for s in legacy.segments
+        ]
+        for mine, theirs in zip(lowered.segments, legacy.segments):
+            why = structural_mismatch(mine.graph, theirs.graph)
+            assert why is None, f"{workload}/{mine.name}: {why}"
+            assert graph_fingerprint(mine.graph) == graph_fingerprint(
+                theirs.graph
+            )
+
+    def test_deterministic_fingerprints(self, small_params):
+        split = (8, 8)
+        results = [
+            _lower(
+                _build(small_params, "primitive", "hybrid", 2, split),
+                small_params,
+                split,
+            )
+            for _ in range(2)
+        ]
+        assert (
+            results[0].level_fingerprints == results[1].level_fingerprints
+        )

@@ -66,6 +66,53 @@ class TestSliceAwareReads:
         assert saved == 6 * N * WORD
 
 
+class TestPeAllocationStructural:
+    def _window(self, creation_order):
+        """Three equal-work ops; ``creation_order`` permutes uid order.
+
+        The window (graph insertion) order is always a, b, c — only the
+        order the Operator objects are *constructed* in, and hence their
+        uids, follows ``creation_order``.
+        """
+        made = {}
+        for name in creation_order:
+            made[name] = Operator(
+                name, OpKind.EW_ADD, limbs=6, n=N,
+                inputs=[poly_tensor(f"{name}.in", 6, N, WORD)],
+                outputs=[poly_tensor(f"{name}.out", 6, N, WORD)],
+            )
+        g = OperatorGraph()
+        ops = [made[name] for name in ("a", "b", "c")]
+        for op in ops:
+            g.add_operator(op)
+        return g, ops
+
+    def test_leftover_tie_break_ignores_uid_order(self):
+        # Equal loads leave the leftover PEs to a tie-break; it must
+        # depend only on window position, not on tensor/operator uids —
+        # pipeline-lowered graphs share untouched ops (old, small uids)
+        # while rewritten ops get fresh ones, so uid order differs from
+        # legacy builds of the very same structure.
+        g1, ops1 = self._window(("a", "b", "c"))
+        g2, ops2 = self._window(("c", "b", "a"))
+        p1 = SpatialGroupPlan(g1, ops1, CROPHE_64)
+        p2 = SpatialGroupPlan(g2, ops2, CROPHE_64)
+        by_pos1 = [p1.pe_allocation[op.uid] for op in ops1]
+        by_pos2 = [p2.pe_allocation[op.uid] for op in ops2]
+        assert by_pos1 == by_pos2
+        assert sum(by_pos1) == CROPHE_64.num_pes
+
+    def test_leftover_goes_to_latest_tied_op(self):
+        g, ops = self._window(("a", "b", "c"))
+        plan = SpatialGroupPlan(g, ops, CROPHE_64)
+        alloc = [plan.pe_allocation[op.uid] for op in ops]
+        leftover = CROPHE_64.num_pes % 3
+        if leftover:
+            # Ties resolve toward the back of the window.
+            assert alloc == sorted(alloc)
+            assert alloc[-1] == alloc[0] + 1
+
+
 class TestDeferredWrites:
     def test_extra_write_bytes_added(self):
         g, op, src = _single_consumer_graph(4, 4)
