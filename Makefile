@@ -23,13 +23,24 @@ bench-check:
 
 # Cold-scheduler wall benchmark: run the quick bench suite against a
 # scratch artifact cache so every DP search pays full price, recording
-# cold search wall time plus the sched.plan.memo_* counters.  Compare
-# with `python -m repro.obs diff BENCH_seed.json bench_sched.json`.
+# cold search wall time plus the sched.plan.memo_* and
+# sched.price.vector counters.  A second cold pass with the vectorized
+# frontier pricing disabled (REPRO_VECTOR_PRICING=0) writes the scalar
+# reference; the obs diff between the two must show no counter drift —
+# the packed-table kernel only trades wall-clock, never results.
+# Compare against the committed baseline with
+# `python -m repro.obs diff BENCH_seed.json bench_sched.json`.
 bench-sched:
 	rm -rf .bench-sched-cache
 	REPRO_DSE_CACHE=$(CURDIR)/.bench-sched-cache PYTHONPATH=src \
 		python -m repro.obs bench --quick --out bench_sched.json
 	rm -rf .bench-sched-cache
+	REPRO_VECTOR_PRICING=0 REPRO_DSE_CACHE=$(CURDIR)/.bench-sched-cache \
+		PYTHONPATH=src \
+		python -m repro.obs bench --quick --out bench_sched_scalar.json
+	rm -rf .bench-sched-cache
+	PYTHONPATH=src python -m repro.obs diff \
+		bench_sched_scalar.json bench_sched.json
 
 # Serving-telemetry baseline: the quick aggressive-chaos scenario's
 # metrics snapshot (deterministic counters only — request/outcome/
@@ -57,8 +68,11 @@ bench-pytest:
 bench-full:
 	REPRO_FULL_BENCH=1 pytest benchmarks/ --benchmark-only
 
+# The tee'd transcript (experiment_results.txt) is a local artifact —
+# gitignored, never committed; the reproducible record is the artifact
+# JSON plus the committed EXPERIMENTS.md tables.
 experiments:
-	python -m repro.experiments.runner all
+	python -m repro.experiments.runner all 2>&1 | tee experiment_results.txt
 
 experiments-quick:
 	python -m repro.experiments.runner all --quick

@@ -216,7 +216,20 @@ class OperatorGraph:
           operator goes first, placing same-constant consumers in the
           same window so the fetch is shared (fine-grained spatial
           sharing, Section V-A).
+
+        The traversal is pure in the graph's structure, so the order is
+        computed once and cached until the operator count changes (every
+        split candidate of a DP search, every replay, and several
+        analysis passes re-request it); callers get a fresh list.
         """
+        cached = self.__dict__.get("_topo_cache")
+        if cached is not None and cached[0] == len(self._ops):
+            return list(cached[1])
+        order = self._operators_topological_uncached()
+        self._topo_cache = (len(self._ops), tuple(order))
+        return order
+
+    def _operators_topological_uncached(self) -> List[Operator]:
         indegree = {op: self._nx.in_degree(op) for op in self._nx.nodes}
         ready = [op for op in self._nx.nodes if indegree[op] == 0]
         order: List[Operator] = []

@@ -14,7 +14,11 @@ from repro.sched.scheduler import (
     schedule_graph,
     schedule_partitioned,
 )
-from repro.sched.cost_model import group_time_breakdown
+from repro.sched.cost_model import (
+    GroupPricing,
+    group_time_breakdown,
+    schedule_roofline,
+)
 from repro.sched.partition import partition_graph, merge_redundant
 from repro.sched.hybrid_rotation import estimate_tradeoff, r_hyb_candidates
 from repro.sched.ntt_decomp import candidate_splits, orientation_switch_report
@@ -33,7 +37,9 @@ __all__ = [
     "SchedulerConfig",
     "schedule_graph",
     "schedule_partitioned",
+    "GroupPricing",
     "group_time_breakdown",
+    "schedule_roofline",
     "partition_graph",
     "merge_redundant",
     "estimate_tradeoff",

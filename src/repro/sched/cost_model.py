@@ -8,25 +8,44 @@ is the maximum of the two."
 The model itself lives with the group plan
 (:meth:`repro.sched.dataflow.SpatialGroupPlan.execution_seconds`); this
 module provides the standalone entry points used for analysis and
-testing: per-resource time decomposition, bottleneck attribution, and
-roofline-style summaries for whole schedules.
+testing — per-resource time decomposition, bottleneck attribution, and
+roofline-style summaries for whole schedules — plus the **vectorized
+pricing kernel** (:class:`GroupPricing`) the DP scheduler uses to price
+a whole frontier of candidate windows in one numpy call.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.hw.config import HardwareConfig
 from repro.hw.memory import HbmMemory, SramBuffer
-from repro.hw.noc import MeshNoc
+from repro.hw.noc import NOC_SERIALIZATION_FACTOR, MeshNoc
 from repro.hw.transpose import TransposeUnit
+from repro.resilience.errors import ConfigError
 from repro.sched.dataflow import (
     GroupMetrics,
     Schedule,
     SpatialGroupPlan,
 )
 from repro.sim.stats import dominant_bottleneck
+
+#: Set to ``0``/``false``/``off`` to price DP frontiers through the
+#: scalar per-window path instead of :meth:`GroupPricing.price_block`.
+#: The two paths are float-identical by construction (same expressions,
+#: same association); this switch exists so CI can prove it.
+VECTOR_ENV = "REPRO_VECTOR_PRICING"
+
+
+def vector_pricing_enabled() -> bool:
+    """Whether frontier pricing uses the numpy block kernel (default)."""
+    return os.environ.get(VECTOR_ENV, "").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
 
 
 @dataclass
@@ -71,7 +90,7 @@ def group_time_breakdown(
         noc_s = (
             metrics.noc_bytes
             / (noc.aggregate_bytes_per_cycle() * freq)
-            * 4.0
+            * NOC_SERIALIZATION_FACTOR
         )
     return TimeBreakdown(
         compute=metrics.compute_cycles / freq,
@@ -103,17 +122,173 @@ def arithmetic_intensity(metrics: GroupMetrics, word_bytes: int) -> float:
     The paper's motivation: FHE operators are "highly memory-intensive,
     with low compute-to-data ratios" — cross-operator reuse is precisely
     what raises this number.
+
+    A group with **zero DRAM traffic** (every operand resident on-chip)
+    returns ``0.0`` by definition here: it sits off the roofline's
+    memory-bound axis entirely, and a finite sentinel keeps the summary
+    statistics below (means, sorts, medians) well-defined where the old
+    ``inf`` poisoned them.
     """
     if metrics.dram_bytes == 0:
-        return float("inf")
+        return 0.0
     # compute_cycles already normalizes over lanes; recover op count via
     # the step's recorded work is not stored, so use cycles as a proxy
     # intensity in lane-op units.
     return metrics.compute_cycles / metrics.dram_bytes
 
 
+def schedule_roofline(
+    schedule: Schedule, hw: HardwareConfig
+) -> List[Tuple[float, float]]:
+    """Sorted roofline points ``(intensity, seconds)`` for a schedule.
+
+    Zero-DRAM groups contribute intensity ``0.0`` (see
+    :func:`arithmetic_intensity`), so the list sorts and aggregates
+    without ``inf`` values.
+    """
+    points = [
+        (arithmetic_intensity(step.metrics, hw.word_bytes), step.seconds)
+        for step in schedule.steps
+    ]
+    points.sort()
+    return points
+
+
 def machine_balance(hw: HardwareConfig) -> float:
-    """Lane-ops per DRAM byte at which compute and memory balance."""
-    return hw.muls_per_second / (
+    """Lane-ops per DRAM byte at which compute and memory balance.
+
+    Raises:
+        ConfigError: for degenerate configurations (no lanes or no DRAM
+            bandwidth) where the balance point is undefined.  Normally
+            unreachable — :meth:`HardwareConfig.validate` rejects such
+            configs at construction — but hand-assembled or mocked
+            configs must fail typed, not with a bare ZeroDivisionError.
+    """
+    if hw.total_lanes <= 0:
+        raise ConfigError(
+            "total_lanes", hw.total_lanes,
+            "machine balance is undefined without compute lanes",
+        )
+    dram_effective = (
         hw.dram_bytes_per_second * HbmMemory.for_config(hw).efficiency
-    ) / hw.total_lanes
+    )
+    if dram_effective <= 0:
+        raise ConfigError(
+            "dram_bandwidth_tbs", hw.dram_bandwidth_tbs,
+            "machine balance is undefined without DRAM bandwidth",
+        )
+    return hw.muls_per_second / dram_effective / hw.total_lanes
+
+
+# ---------------------------------------------------------------------
+# Vectorized frontier pricing
+# ---------------------------------------------------------------------
+
+#: Per-config pricing scalars (identity fast-path mirrors
+#: ``repro.sched.dataflow._models_for`` — a DP search prices hundreds of
+#: thousands of windows against the same config object).
+_PRICING_CACHE: Dict[HardwareConfig, "GroupPricing"] = {}
+_PRICING_LAST: Optional[Tuple[HardwareConfig, "GroupPricing"]] = None
+
+
+@dataclass(frozen=True)
+class GroupPricing:
+    """Precomputed scalars pricing groups on one hardware config.
+
+    Every scalar below is computed with the **same float expression and
+    association** as the scalar model it mirrors
+    (:meth:`SpatialGroupPlan.execution_seconds` and the ``for_config``
+    hardware models), so :meth:`price_block` over packed per-window byte
+    tables returns bit-identical IEEE-754 doubles: elementwise numpy
+    float64 arithmetic is correctly rounded exactly like CPython float
+    arithmetic, and integer byte counts (< 2**53) convert exactly.
+    """
+
+    freq_hz: float
+    hbm_base_s: float
+    hbm_bytes_per_s: float
+    sram_bytes_per_s: float
+    #: ``None`` for specialized baselines (idealized NoC, Section VII-B).
+    noc_denom: Optional[float]
+    transpose_bytes_per_s: float
+
+    @classmethod
+    def for_config(cls, hw: HardwareConfig) -> "GroupPricing":
+        global _PRICING_LAST
+        last = _PRICING_LAST
+        if last is not None and last[0] is hw:
+            return last[1]
+        pricing = _PRICING_CACHE.get(hw)
+        if pricing is None:
+            hbm = HbmMemory.for_config(hw)
+            noc = MeshNoc.for_config(hw)
+            pricing = cls(
+                freq_hz=hw.frequency_ghz * 1e9,
+                hbm_base_s=hbm.base_latency_s,
+                hbm_bytes_per_s=hbm.bytes_per_second,
+                sram_bytes_per_s=SramBuffer.for_config(hw).bytes_per_second,
+                noc_denom=(
+                    None if hw.fu_mix is not None
+                    else noc.aggregate_bytes_per_cycle()
+                    * hw.frequency_ghz * 1e9
+                ),
+                transpose_bytes_per_s=(
+                    TransposeUnit.for_config(hw).bytes_per_second
+                ),
+            )
+            _PRICING_CACHE[hw] = pricing
+        _PRICING_LAST = (hw, pricing)
+        return pricing
+
+    def price_block(
+        self,
+        compute_cycles: Sequence[int],
+        dram_bytes: Sequence[int],
+        sram_bytes: Sequence[int],
+        noc_bytes: Sequence[int],
+        transpose_bytes: Sequence[int],
+    ) -> np.ndarray:
+        """Bottleneck seconds for a block of candidate groups.
+
+        Input columns are the *effective* (residency-discounted) integer
+        resource demands of each candidate; the result's element ``k``
+        equals ``max(compute_s, dram_s, sram_s, noc_s, transpose_s)`` of
+        candidate ``k`` exactly as the scalar model computes it.
+        """
+        compute_s = np.asarray(compute_cycles, dtype=np.float64)
+        compute_s = compute_s / self.freq_hz
+        dram = np.asarray(dram_bytes, dtype=np.float64)
+        dram_s = np.where(
+            dram > 0.0, self.hbm_base_s + dram / self.hbm_bytes_per_s, 0.0
+        )
+        sram_s = np.asarray(sram_bytes, dtype=np.float64)
+        sram_s = sram_s / self.sram_bytes_per_s
+        if self.noc_denom is None:
+            noc_s: np.ndarray = np.zeros_like(compute_s)
+        else:
+            noc_s = np.asarray(noc_bytes, dtype=np.float64)
+            noc_s = noc_s / self.noc_denom * NOC_SERIALIZATION_FACTOR
+        transpose_s = np.asarray(transpose_bytes, dtype=np.float64)
+        transpose_s = transpose_s / self.transpose_bytes_per_s
+        return np.maximum.reduce(
+            [compute_s, dram_s, sram_s, noc_s, transpose_s]
+        )
+
+    def floor_seconds(
+        self,
+        compute_cycles: int,
+        sram_bytes: int,
+        noc_bytes: int,
+        transpose_bytes: int,
+    ) -> float:
+        """Scalar lower bound mirroring
+        :meth:`SpatialGroupPlan.seconds_floor` (residency discounts only
+        ever lower the DRAM term, which is omitted here)."""
+        compute_s = compute_cycles / self.freq_hz
+        sram_s = sram_bytes / self.sram_bytes_per_s
+        if self.noc_denom is None:
+            noc_s = 0.0
+        else:
+            noc_s = noc_bytes / self.noc_denom * NOC_SERIALIZATION_FACTOR
+        transpose_s = transpose_bytes / self.transpose_bytes_per_s
+        return max(compute_s, sram_s, noc_s, transpose_s)

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.hw.config import HardwareConfig
 from repro.hw.memory import HbmMemory, SramBuffer
-from repro.hw.noc import MeshNoc
+from repro.hw.noc import NOC_SERIALIZATION_FACTOR, MeshNoc
 from repro.hw.pe import operator_cycles
 from repro.hw.transpose import TransposeUnit
 from repro.ir.graph import OperatorGraph
@@ -406,7 +406,7 @@ class SpatialGroupPlan:
             noc_s = (
                 eff.noc_bytes
                 / (noc.aggregate_bytes_per_cycle() * cfg.frequency_ghz * 1e9)
-                * 4.0  # average path uses ~1/4 of links concurrently
+                * NOC_SERIALIZATION_FACTOR
             )
         transpose_s = tpu.transpose_seconds(eff.transpose_bytes)
         return max(compute_s, dram_s, sram_s, noc_s, transpose_s), eff
@@ -435,7 +435,7 @@ class SpatialGroupPlan:
                     m.noc_bytes
                     / (noc.aggregate_bytes_per_cycle()
                        * cfg.frequency_ghz * 1e9)
-                    * 4.0
+                    * NOC_SERIALIZATION_FACTOR
                 )
             transpose_s = tpu.transpose_seconds(m.transpose_bytes)
             floor = max(compute_s, sram_s, noc_s, transpose_s)

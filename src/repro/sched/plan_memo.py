@@ -83,15 +83,33 @@ def _memo_hw(hw: HardwareConfig) -> HardwareConfig:
     """The hardware identity plans actually depend on.
 
     Plan *construction* (loop-nest assignment, PE allocation, the
-    metrics walk) never reads the SRAM capacity — buffer feasibility
-    (``fits_buffer``) and all timing are evaluated against the *live*
-    config the instantiated plan carries — and the config label is
-    cosmetic.  Projecting both away lets structural twins share plans
-    across e.g. Figure 10's SRAM sweep points.
+    metrics walk) reads exactly five config fields: ``word_bits``,
+    ``lanes_per_pe``, ``num_pes``, ``fu_mix``, and ``transpose_unit_mb``
+    (the transpose unit's capacity bounds a buffer term).  Everything
+    else — the label, clock frequency, DRAM/SRAM/NoC bandwidths, SRAM
+    capacity, mesh shape, register file, area/power — only enters at
+    *timing and feasibility* evaluation, which always runs against the
+    live config the instantiated plan carries.  Projecting all of it to
+    canonical values lets structural twins share skeletons across
+    Figure 10's SRAM sweep points, across Table I's bandwidth/frequency
+    variants, and across the workloads of a whole sweep (the disk tier
+    keys on this projection too).
     """
     proj = _HW_PROJECTION.get(hw)
     if proj is None:
-        proj = replace(hw, sram_capacity_mb=1.0, name="")
+        proj = replace(
+            hw,
+            name="",
+            frequency_ghz=1.0,
+            dram_bandwidth_tbs=1.0,
+            sram_bandwidth_tbs=1.0,
+            sram_capacity_mb=1.0,
+            register_file_kb=0,
+            noc_link_bytes_per_cycle=1,
+            mesh_dims=None,
+            area_mm2=0.0,
+            power_w=0.0,
+        )
         _HW_PROJECTION[hw] = proj
     return proj
 
@@ -472,33 +490,27 @@ class PlanMemo:
             "window": key,
         })
 
-    def plan_for(
+    def lookup(
         self,
         graph: OperatorGraph,
         ops: Sequence[Operator],
         hw: HardwareConfig,
         n_split: Optional[Tuple[int, int]] = None,
-        enabled: Optional[bool] = None,
         uids: Optional[Tuple[int, ...]] = None,
-    ) -> SpatialGroupPlan:
-        """A plan for ``ops``, served structurally when possible.
+    ) -> Tuple[PlanSkeleton, Optional[SpatialGroupPlan]]:
+        """The skeleton for ``ops`` plus the live plan a miss built.
 
         Tier order: memory skeleton, then disk (only when the DSE cache
         has a root), then fresh construction — which back-fills both
-        tiers.  A fresh construction runs under a ``sched.plan`` span
-        so cold traces show exactly where structural planning time
-        goes; hits are span-free (they are dict lookups).
-
-        ``enabled`` short-circuits the per-call environment read; the
-        scheduler samples :func:`memo_enabled` once at construction and
-        passes it through (this runs for every window of every search).
-        ``uids`` forwards the caller's precomputed uid tuple to
-        :func:`window_key`.
+        tiers.  Hits return ``(skeleton, None)`` without instantiating
+        a live plan, which is what lets the scheduler's vectorized
+        search price windows straight off skeleton integers; a miss
+        returns the freshly constructed plan alongside its skeleton so
+        the caller never pays construction twice.  A fresh construction
+        runs under a ``sched.plan`` span so cold traces show exactly
+        where structural planning time goes; hits are span-free (they
+        are dict lookups).
         """
-        if enabled is None:
-            enabled = memo_enabled()
-        if not enabled:
-            return SpatialGroupPlan(graph, ops, hw, n_split)
         key = (_memo_hw(hw), n_split, window_key(graph, ops, uids))
         # One lock round trip covers both the lookup and the counter —
         # this is the hot path of every priced window.
@@ -507,7 +519,7 @@ class PlanMemo:
             if skeleton is not None:
                 self.stats["memo_hit"] += 1
         if skeleton is not None:
-            return instantiate(skeleton, graph, ops, hw, n_split)
+            return skeleton, None
         # Imported lazily: repro.dse depends on this package.
         from repro.dse.cache import CACHE
 
@@ -521,7 +533,7 @@ class PlanMemo:
                 with self._lock:
                     self._skeletons[key] = skeleton
                 self._count("disk_hit")
-                return instantiate(skeleton, graph, ops, hw, n_split)
+                return skeleton, None
         with _span("sched.plan", ops=len(ops)):
             plan = SpatialGroupPlan(graph, ops, hw, n_split)
         skeleton = skeleton_of(plan)
@@ -533,7 +545,33 @@ class PlanMemo:
                 "plan", fp, skeleton_to_doc(skeleton),
                 meta={"ops": len(ops), "hw": hw.name},
             )
-        return plan
+        return skeleton, plan
+
+    def plan_for(
+        self,
+        graph: OperatorGraph,
+        ops: Sequence[Operator],
+        hw: HardwareConfig,
+        n_split: Optional[Tuple[int, int]] = None,
+        enabled: Optional[bool] = None,
+        uids: Optional[Tuple[int, ...]] = None,
+    ) -> SpatialGroupPlan:
+        """A live plan for ``ops``, served structurally when possible.
+
+        ``enabled`` short-circuits the per-call environment read; the
+        scheduler samples :func:`memo_enabled` once at construction and
+        passes it through (this runs for every window of every search).
+        ``uids`` forwards the caller's precomputed uid tuple to
+        :func:`window_key`.
+        """
+        if enabled is None:
+            enabled = memo_enabled()
+        if not enabled:
+            return SpatialGroupPlan(graph, ops, hw, n_split)
+        skeleton, plan = self.lookup(graph, ops, hw, n_split, uids)
+        if plan is not None:
+            return plan
+        return instantiate(skeleton, graph, ops, hw, n_split)
 
 
 #: The process-wide memo every :class:`~repro.sched.scheduler.

@@ -40,8 +40,8 @@ if TYPE_CHECKING:  # CKKSParams is annotation-only here (no import cycle).
 
 from repro.hw.config import HardwareConfig
 from repro.ir.graph import OperatorGraph
-from repro.ir.loops import matched_prefix, power_of_two_splits
-from repro.ir.operators import Operator
+from repro.ir.loops import LoopNest, matched_prefix, power_of_two_splits
+from repro.ir.operators import Operator, OpKind
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.tracer import span as _span
 from repro.resilience.budget import BudgetMeter, SearchBudget
@@ -52,8 +52,14 @@ from repro.resilience.errors import (
     InvariantViolation,
     SearchBudgetExceeded,
 )
+from repro.sched.cost_model import GroupPricing, vector_pricing_enabled
 from repro.sched.dataflow import Schedule, ScheduledStep, SpatialGroupPlan
-from repro.sched.plan_memo import MEMO as _PLAN_MEMO, memo_enabled
+from repro.sched.plan_memo import (
+    MEMO as _PLAN_MEMO,
+    PlanSkeleton,
+    instantiate as _instantiate,
+    memo_enabled,
+)
 
 #: Fusion depth of the greedy fallback scheduler (MAD-style windows).
 GREEDY_FALLBACK_WINDOW = 4
@@ -212,6 +218,15 @@ class SchedulerConfig:
 class _DpState:
     """Forward DP state: cumulative time plus what lives in SRAM.
 
+    States form a linked chain through ``parent``: instead of copying a
+    growing step list on every transition (O(steps) work and garbage per
+    priced candidate), each state records only its own ``entry`` — a
+    fully priced :class:`ScheduledStep` on the scalar path, or a
+    lightweight :class:`_Candidate` on the vectorized path — and
+    ``window``, the ``(start, size)`` slice of the topological order it
+    covers (all a checkpoint needs).  The winning chain is materialized
+    into real steps once, at the end (:meth:`Scheduler._materialize`).
+
     ``pool`` holds intermediate tensors kept on-chip (uid -> bytes); a
     tensor leaves the pool when its last consumer has executed.  This is
     the top "sequential execution with fully materialized intermediates"
@@ -220,21 +235,182 @@ class _DpState:
     """
 
     seconds: float
-    steps: List[ScheduledStep]
+    parent: Optional["_DpState"] = None
+    #: ScheduledStep (scalar path) or _Candidate (vectorized path).
+    entry: Optional[object] = None
+    window: Optional[Tuple[int, int]] = None
     pool: Dict[int, int] = field(default_factory=dict)
     resident_constants: Set[int] = field(default_factory=set)
     resident_constant_bytes: int = 0
     #: Boundary outputs whose write decision is deferred: a later step
     #: within the stream window may stream them (temporal pipelining),
     #: pool them, or finally spill them.  uid -> (bytes, age, producer
-    #: plan).
-    pending: Dict[int, Tuple[int, int, Optional[SpatialGroupPlan]]] = field(
+    #: plan or view).
+    pending: Dict[int, Tuple[int, int, Optional[object]]] = field(
         default_factory=dict
     )
 
-    @property
-    def pool_bytes(self) -> int:
-        return sum(self.pool.values())
+
+class _WindowView:
+    """Pricing-time view of one candidate window.
+
+    Carries exactly what the DP transition and the vectorized block
+    pricer read: the integer resource demands, the per-position loop
+    nests (streamability checks), boundary outputs and per-tensor
+    constant/external byte items rebound to this window's uids, and the
+    feasibility verdicts.  On a structural-memo hit the view is built
+    straight from the stored :class:`PlanSkeleton` — **no live plan is
+    instantiated** for windows that only get priced; a plan materializes
+    lazily (:meth:`live_plan`) only for the windows on the winning
+    cover.  A view can also wrap an existing live plan (memo misses,
+    memo-off runs, and subclasses with their own plan construction), so
+    both sources price through one code path.
+    """
+
+    __slots__ = (
+        "ops", "skeleton", "plan", "nests", "feasible", "fits",
+        "compute_cycles", "sram_bytes", "noc_bytes", "transpose_bytes",
+        "dram_read_bytes", "dram_write_bytes", "buffer_bytes",
+        "constant_items", "external_items", "out_items", "consumed",
+        "floor",
+    )
+
+    ops: Tuple[Operator, ...]
+    skeleton: Optional[PlanSkeleton]
+    plan: Optional[SpatialGroupPlan]
+    nests: Tuple[LoopNest, ...]
+    feasible: bool
+    fits: bool
+    compute_cycles: int
+    sram_bytes: int
+    noc_bytes: int
+    transpose_bytes: int
+    dram_read_bytes: int
+    dram_write_bytes: int
+    buffer_bytes: int
+    #: ``(uid, bytes)`` in the metrics dicts' insertion order — the
+    #: residency discount loops below are order-sensitive only through
+    #: the constant-budget fill, which must match the plan's dict order.
+    constant_items: Tuple[Tuple[int, int], ...]
+    external_items: Tuple[Tuple[int, int], ...]
+    #: ``(uid, bytes)`` of the window's escaping outputs, in
+    #: ``plan.boundary()`` order.
+    out_items: Tuple[Tuple[int, int], ...]
+    consumed: Set[int]
+    floor: float
+
+    @classmethod
+    def from_skeleton(
+        cls,
+        skeleton: PlanSkeleton,
+        ops: Tuple[Operator, ...],
+        hw: HardwareConfig,
+        pricing: GroupPricing,
+    ) -> "_WindowView":
+        view = cls()
+        view.ops = ops
+        view.skeleton = skeleton
+        view.plan = None
+        view.nests = skeleton.nests
+        view.feasible = bool(skeleton.pe_allocation) or all(
+            op.kind is OpKind.TRANSPOSE for op in ops
+        )
+        view.fits = skeleton.buffer_bytes <= hw.sram_capacity_bytes
+        view.compute_cycles = skeleton.compute_cycles
+        view.sram_bytes = skeleton.sram_bytes
+        view.noc_bytes = skeleton.noc_bytes
+        view.transpose_bytes = skeleton.transpose_bytes
+        view.dram_read_bytes = skeleton.dram_read_bytes
+        view.dram_write_bytes = skeleton.dram_write_bytes
+        view.buffer_bytes = skeleton.buffer_bytes
+        view.constant_items = tuple(
+            (ops[p].inputs[idx].uid, nbytes)
+            for p, idx, nbytes in skeleton.constant_bytes
+        )
+        view.external_items = tuple(
+            (ops[p].inputs[idx].uid, nbytes)
+            for p, idx, nbytes in skeleton.external_read_bytes
+        )
+        view.out_items = tuple(
+            (ops[p].outputs[idx].uid, ops[p].outputs[idx].bytes)
+            for p, idx in skeleton.boundary_outs
+        )
+        view.consumed = {t.uid for op in ops for t in op.inputs}
+        view.floor = pricing.floor_seconds(
+            skeleton.compute_cycles, skeleton.sram_bytes,
+            skeleton.noc_bytes, skeleton.transpose_bytes,
+        )
+        return view
+
+    @classmethod
+    def from_plan(cls, plan: SpatialGroupPlan) -> "_WindowView":
+        view = cls()
+        view.ops = plan.ops
+        view.skeleton = None
+        view.plan = plan
+        view.nests = tuple(
+            plan.assignment.nest_of(op) for op in plan.ops
+        )
+        view.feasible = plan.feasible_allocation
+        view.fits = plan.fits_buffer
+        m = plan.metrics
+        view.compute_cycles = m.compute_cycles
+        view.sram_bytes = m.sram_bytes
+        view.noc_bytes = m.noc_bytes
+        view.transpose_bytes = m.transpose_bytes
+        view.dram_read_bytes = m.dram_read_bytes
+        view.dram_write_bytes = m.dram_write_bytes
+        view.buffer_bytes = m.buffer_bytes
+        view.constant_items = tuple(m.constant_bytes.items())
+        view.external_items = tuple(m.external_read_bytes.items())
+        view.out_items = tuple(
+            (t.uid, t.bytes) for t in plan.boundary()[1]
+        )
+        view.consumed = {t.uid for op in plan.ops for t in op.inputs}
+        view.floor = plan.seconds_floor()
+        return view
+
+    def live_plan(self, scheduler: "Scheduler") -> SpatialGroupPlan:
+        """The live plan for this window, instantiated on first use."""
+        plan = self.plan
+        if plan is None:
+            plan = _instantiate(
+                self.skeleton, scheduler.graph, self.ops,
+                scheduler.hw, scheduler.n_split,
+            )
+            self.plan = plan
+        return plan
+
+
+class _Candidate:
+    """One resolved DP transition awaiting block pricing.
+
+    Produced by :meth:`Scheduler._resolve_candidate` — the residency
+    bookkeeping of a transition with the float pricing factored out.
+    ``seconds`` is filled by the frontier's single
+    :meth:`GroupPricing.price_block` call; the effective DRAM integers
+    are resolved here because they depend on the *state* (what is
+    resident), unlike the other resource columns which are per-window.
+    """
+
+    __slots__ = (
+        "view", "pool", "pending", "kept", "spill_bytes",
+        "resident_inputs", "resident_constants", "new_consts",
+        "new_const_bytes", "eff_dram_read", "eff_dram_write", "seconds",
+    )
+
+    view: _WindowView
+    pool: Dict[int, int]
+    pending: Dict[int, Tuple[int, int, Optional[object]]]
+    kept: Set[int]
+    spill_bytes: int
+    resident_inputs: Set[int]
+    resident_constants: Set[int]
+    new_consts: Set[int]
+    new_const_bytes: int
+    eff_dram_read: int
+    eff_dram_write: int
+    seconds: float
 
 
 class Scheduler:
@@ -291,16 +467,21 @@ class Scheduler:
         self.n_split = n_split
         self.checkpoint_path = checkpoint_path
         self._plan_cache: Dict[Tuple, SpatialGroupPlan] = {}
+        self._view_cache: Dict[Tuple, _WindowView] = {}
         #: Sampled once — the memo gate sits on the hottest path.
         self._memo_enabled = memo_enabled()
-        #: Per-plan consumed-uid sets and per-(producer plan, consumer
-        #: plan, tensor) streamability verdicts.  Both are pure
-        #: functions of plans this scheduler holds alive, recomputed
-        #: otherwise on every DP transition.
+        #: Vectorized frontier pricing (REPRO_VECTOR_PRICING, default
+        #: on); sampled once like the memo gate.  Float-identical to the
+        #: scalar path by construction — see GroupPricing.
+        self._vector = vector_pricing_enabled()
+        self._pricing = GroupPricing.for_config(hw)
+        #: Per-plan consumed-uid sets and per-(producer, consumer,
+        #: tensor) streamability verdicts — producer/consumer being a
+        #: plan or a window view.  Both are pure functions of objects
+        #: this scheduler holds alive, recomputed otherwise on every DP
+        #: transition.
         self._consumed_cache: Dict[SpatialGroupPlan, Set[int]] = {}
-        self._stream_cache: Dict[
-            Tuple[SpatialGroupPlan, SpatialGroupPlan, int], bool
-        ] = {}
+        self._stream_cache: Dict[Tuple[object, object, int], bool] = {}
         self.stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -327,6 +508,43 @@ class Scheduler:
             )
             self._plan_cache[key] = plan
         return plan
+
+    def _view_for(self, window: Tuple[Operator, ...]) -> _WindowView:
+        """Pricing view of a window, cached per window identity.
+
+        With the structural memo on, a memo hit yields a view straight
+        from the stored skeleton — no live plan exists until the window
+        lands on the winning cover.  Subclasses that override
+        ``_plan_for`` (the MAD baseline's depth-1 plans, test doubles)
+        are detected and routed through their override, wrapped in a
+        view, so the vectorized search never bypasses custom plan
+        construction — and MAD skeletons never poison the shared memo.
+        """
+        key = tuple(op.uid for op in window)
+        view = self._view_cache.get(key)
+        if view is not None:
+            return view
+        if (
+            self._memo_enabled
+            and type(self)._plan_for is Scheduler._plan_for
+        ):
+            skeleton, plan = _PLAN_MEMO.lookup(
+                self.graph, window, self.hw, self.n_split, uids=key,
+            )
+            if plan is not None:
+                # Memo miss: the freshly constructed plan is already
+                # live, so keep it (identity cache included) instead of
+                # re-instantiating at materialization time.
+                self._plan_cache[key] = plan
+                view = _WindowView.from_plan(plan)
+            else:
+                view = _WindowView.from_skeleton(
+                    skeleton, window, self.hw, self._pricing
+                )
+        else:
+            view = _WindowView.from_plan(self._plan_for(window))
+        self._view_cache[key] = view
+        return view
 
     # ------------------------------------------------------------------
 
@@ -355,15 +573,15 @@ class Scheduler:
                 if t.kind is TensorKind.EXTERNAL and used + t.bytes <= keep_budget:
                     initial_pool[t.uid] = t.bytes
                     used += t.bytes
-        return _DpState(seconds=0.0, steps=[], pool=initial_pool)
+        return _DpState(seconds=0.0, pool=initial_pool)
 
-    def _settle(self, final: _DpState) -> None:
+    def _settle(self, final: _DpState, steps: List[ScheduledStep]) -> None:
         """Settle still-deferred outputs (graph results must land in
         memory): charge their writes to the last step.  With chained
         segment I/O the outputs stay on-chip for the next segment."""
-        if final.pending and final.steps and not self.config.chained_io:
+        if final.pending and steps and not self.config.chained_io:
             spill = sum(nbytes for nbytes, _, _ in final.pending.values())
-            last = final.steps[-1]
+            last = steps[-1]
             last.metrics.dram_write_bytes += spill
             last.seconds = max(
                 last.seconds,
@@ -371,12 +589,56 @@ class Scheduler:
                 / (self.hw.dram_bytes_per_second * 0.85),
             )
 
-    def _cover_of(self, state: _DpState, pos: Dict[int, int]) -> List[Tuple[int, int]]:
+    def _cover_of(self, state: _DpState) -> List[Tuple[int, int]]:
         """The (start, size) window sequence that produced a DP state."""
-        return [
-            (pos[step.plan.ops[0].uid], len(step.plan.ops))
-            for step in state.steps
-        ]
+        cover: List[Tuple[int, int]] = []
+        node: Optional[_DpState] = state
+        while node is not None and node.window is not None:
+            cover.append(node.window)
+            node = node.parent
+        cover.reverse()
+        return cover
+
+    def _materialize(self, state: _DpState) -> List[ScheduledStep]:
+        """Realize a winning DP chain as fully priced scheduled steps.
+
+        Scalar-path entries already are steps.  Vectorized candidates
+        instantiate their plan now (for most windows this is the only
+        instantiation that ever happens) and price the final step
+        through the **legacy scalar**
+        :meth:`SpatialGroupPlan.execution_seconds` with the residency
+        sets the transition recorded — so the artifact floats come from
+        the exact same code path whichever pricing mode ran the search.
+        """
+        chain: List[_DpState] = []
+        node: Optional[_DpState] = state
+        while node is not None and node.entry is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        steps: List[ScheduledStep] = []
+        for link in chain:
+            entry = link.entry
+            if isinstance(entry, ScheduledStep):
+                steps.append(entry)
+                continue
+            plan = entry.view.live_plan(self)
+            seconds, metrics = plan.execution_seconds(
+                resident_inputs=entry.resident_inputs,
+                resident_constants=entry.resident_constants,
+                kept_outputs=entry.kept,
+                constant_share=self.config.constant_share,
+                extra_write_bytes=entry.spill_bytes,
+            )
+            steps.append(ScheduledStep(
+                plan=plan,
+                seconds=seconds,
+                metrics=metrics,
+                resident_inputs=entry.resident_inputs,
+                resident_constants=entry.resident_constants,
+                kept_outputs=entry.kept,
+            ))
+        return steps
 
     def _replay_cover(
         self,
@@ -448,14 +710,13 @@ class Scheduler:
         fingerprint: str,
         next_i: int,
         dp: Sequence[Optional[_DpState]],
-        pos: Dict[int, int],
         next_size: int = 1,
     ) -> None:
         """Persist the per-window best covers reached so far."""
         if self.checkpoint_path is None:
             return
         covers = {
-            j: self._cover_of(state, pos)
+            j: self._cover_of(state)
             for j, state in enumerate(dp)
             if j > 0 and state is not None
         }
@@ -553,6 +814,16 @@ class Scheduler:
                         break
                     sizes.append(size)
 
+                if self._vector:
+                    self._vector_frontier(
+                        dp, order, state, i, sizes, executor,
+                        keep_budget, const_budget, last_use,
+                    )
+                    if budget_trip is not None:
+                        interrupted_at = (i, budget_trip)
+                        break
+                    continue
+
                 def _price(
                     size: int, state: _DpState = state, i: int = i
                 ) -> Optional[Tuple[ScheduledStep, _DpState]]:
@@ -617,7 +888,7 @@ class Scheduler:
 
         if interrupted_at is not None:
             self._save_checkpoint(
-                fingerprint, interrupted_at[0], dp, pos,
+                fingerprint, interrupted_at[0], dp,
                 next_size=interrupted_at[1],
             )
             frontier = max(
@@ -651,9 +922,10 @@ class Scheduler:
                 t0,
             )
         if self.checkpoint_path is not None:
-            self._save_checkpoint(fingerprint, n, dp, pos)
-        self._settle(final)
-        return self._finish(Schedule(steps=final.steps), t0)
+            self._save_checkpoint(fingerprint, n, dp)
+        steps = self._materialize(final)
+        self._settle(final, steps)
+        return self._finish(Schedule(steps=steps), t0)
 
     def replay(self, window_sizes: Sequence[int]) -> Schedule:
         """Rebuild a schedule from its window cover, without searching.
@@ -707,16 +979,21 @@ class Scheduler:
             raise InvariantViolation(
                 "repro.sched.scheduler.Scheduler.replay", str(exc)
             ) from None
-        self._settle(final)
+        steps = self._materialize(final)
+        self._settle(final, steps)
         self.stats["replayed"] = 1.0
         if _METRICS.enabled:
             _METRICS.counter("sched.replays").inc()
-        return Schedule(steps=final.steps)
+        return Schedule(steps=steps)
 
     def _finish(self, schedule: Schedule, t0: float) -> Schedule:
         """Stamp search stats, run the verification gate, and return."""
         self.stats["search_seconds"] = _time.time() - t0
-        self.stats["plans_cached"] = len(self._plan_cache)
+        # On the vectorized path most windows never instantiate a live
+        # plan; the view cache is the per-window working set then.
+        self.stats["plans_cached"] = float(
+            max(len(self._plan_cache), len(self._view_cache))
+        )
         self.stats["degraded"] = 1.0 if schedule.degraded else 0.0
         meter: Optional[BudgetMeter] = getattr(self, "_meter", None)
         if meter is not None:
@@ -737,7 +1014,9 @@ class Scheduler:
             self.stats["plan_memo_misses"] = float(memo_misses)
         if _METRICS.enabled:
             _METRICS.counter("sched.searches").inc()
-            _METRICS.counter("sched.plans_cached").inc(len(self._plan_cache))
+            _METRICS.counter("sched.plans_cached").inc(
+                int(self.stats["plans_cached"])
+            )
             _METRICS.histogram("sched.search_seconds").observe(
                 self.stats["search_seconds"]
             )
@@ -750,6 +1029,9 @@ class Scheduler:
             parallel = int(self.stats.get("parallel_priced", 0))
             if parallel:
                 _METRICS.counter("sched.price.parallel").inc(parallel)
+            vectored = int(self.stats.get("vector_priced", 0))
+            if vectored:
+                _METRICS.counter("sched.price.vector").inc(vectored)
             if schedule.degraded:
                 _METRICS.counter("sched.degraded_fallbacks").inc()
         self._verify_gate(schedule)
@@ -858,19 +1140,229 @@ class Scheduler:
                     "as a singleton group",
                     operator=order[i].name,
                     position=i,
-                    partial_steps=len(state.steps),
+                    partial_steps=len(self._cover_of(state)),
                     detail=(
                         f"group buffer needs "
                         f"{single.metrics.buffer_bytes} B but SRAM holds "
                         f"{self.hw.sram_capacity_bytes} B"
                     ),
                 )
-        self._settle(state)
+        steps = self._materialize(state)
+        self._settle(state, steps)
         return Schedule(
-            steps=state.steps, degraded=True, degraded_reason=reason
+            steps=steps, degraded=True, degraded_reason=reason
         )
 
     # ------------------------------------------------------------------
+
+    def _vector_frontier(
+        self,
+        dp: List[Optional[_DpState]],
+        order: Sequence[Operator],
+        state: _DpState,
+        i: int,
+        sizes: Sequence[int],
+        executor: Optional[ThreadPoolExecutor],
+        keep_budget: int,
+        const_budget: int,
+        last_use: Dict[int, int],
+    ) -> None:
+        """Price one DP frontier through the numpy block kernel.
+
+        The per-candidate *residency resolution* (pool/pending/constant
+        bookkeeping, pure integer work) runs first — serially or fanned
+        out to the pricing threads exactly like the scalar path — then
+        the surviving candidates' packed integer columns price in a
+        single :meth:`GroupPricing.price_block` call, and results apply
+        in size order with the same strict ``<`` as the scalar path.
+        Feasibility, fit, and dominance prunes reproduce the scalar
+        path's decisions (``view.floor`` is ``seconds_floor`` computed
+        from the same integers), so dp evolution is float-identical.
+        """
+
+        def _resolve(
+            size: int, state: _DpState = state, i: int = i
+        ) -> Optional[_Candidate]:
+            view = self._view_for(tuple(order[i: i + size]))
+            if not view.feasible or not view.fits:
+                # Same skip-not-break semantics as the scalar path:
+                # infeasibility at one size says nothing about larger
+                # windows.
+                return None
+            existing = dp[i + size]
+            if (
+                existing is not None
+                and state.seconds + view.floor >= existing.seconds
+            ):
+                return None
+            return self._resolve_candidate(
+                state, view, keep_budget, const_budget,
+                end_pos=i + size, last_use=last_use,
+            )
+
+        if executor is not None and len(sizes) > 1:
+            self.stats["parallel_priced"] = (
+                self.stats.get("parallel_priced", 0.0) + len(sizes)
+            )
+            cands = list(executor.map(_resolve, sizes))
+        else:
+            cands = [_resolve(size) for size in sizes]
+        live = [c for c in cands if c is not None]
+        if live:
+            block = self._pricing.price_block(
+                [c.view.compute_cycles for c in live],
+                [c.eff_dram_read + c.eff_dram_write for c in live],
+                [c.view.sram_bytes for c in live],
+                [c.view.noc_bytes for c in live],
+                [c.view.transpose_bytes for c in live],
+            )
+            for cand, sec in zip(live, block):
+                cand.seconds = float(sec)
+            self.stats["vector_priced"] = (
+                self.stats.get("vector_priced", 0.0) + len(live)
+            )
+        for size, cand in zip(sizes, cands):
+            if cand is None:
+                continue
+            j = i + size
+            total = state.seconds + cand.seconds
+            existing = dp[j]
+            if existing is None or total < existing.seconds:
+                dp[j] = _DpState(
+                    seconds=total,
+                    parent=state,
+                    entry=cand,
+                    window=(i, size),
+                    pool=cand.pool,
+                    resident_constants=cand.new_consts,
+                    resident_constant_bytes=cand.new_const_bytes,
+                    pending=cand.pending,
+                )
+
+    def _resolve_candidate(
+        self,
+        state: _DpState,
+        view: _WindowView,
+        keep_budget: int,
+        const_budget: int,
+        end_pos: int,
+        last_use: Dict[int, int],
+    ) -> _Candidate:
+        """The residency half of a DP transition, sans pricing.
+
+        Mirrors :meth:`_transition` statement for statement — pool
+        eviction, pending settlement, residency capture, effective-DRAM
+        resolution, constant-pool fill — against a :class:`_WindowView`
+        instead of a live plan.  All integer/set arithmetic; the float
+        pricing happens once per frontier in
+        :meth:`GroupPricing.price_block`.
+        """
+        resident_constants = state.resident_constants
+        consumed = view.consumed
+        window = max(self.config.stream_window, 1)
+        new_pool = {
+            uid: nbytes
+            for uid, nbytes in state.pool.items()
+            if last_use.get(uid, -1) >= end_pos
+        }
+        pool_bytes = sum(new_pool.values())
+
+        streamed: Set[int] = set()
+        spill_bytes = 0
+        new_pending: Dict[int, Tuple[int, int, Optional[object]]] = {}
+        for uid, (nbytes, age, producer) in state.pending.items():
+            live_later = last_use.get(uid, -1) >= end_pos
+            consumed_now = uid in consumed
+            if consumed_now and self._streamable(uid, producer, view):
+                streamed.add(uid)
+                if live_later:
+                    if pool_bytes + nbytes <= keep_budget:
+                        new_pool[uid] = nbytes
+                        pool_bytes += nbytes
+                    elif age + 1 < window:
+                        new_pending[uid] = (nbytes, age + 1, producer)
+                    else:
+                        spill_bytes += nbytes
+                continue
+            if consumed_now:
+                if pool_bytes + nbytes <= keep_budget:
+                    new_pool[uid] = nbytes
+                    pool_bytes += nbytes
+                else:
+                    spill_bytes += nbytes
+                continue
+            if pool_bytes + nbytes <= keep_budget and live_later:
+                new_pool[uid] = nbytes
+                pool_bytes += nbytes
+            elif age + 1 < window and live_later:
+                new_pending[uid] = (nbytes, age + 1, producer)
+            else:
+                spill_bytes += nbytes
+
+        # Captured *before* this window's outputs enter the pool —
+        # exactly where _transition computes it.
+        resident_inputs = new_pool.keys() | streamed | state.pool.keys()
+        kept: Set[int] = set()
+        for uid, nbytes in view.out_items:
+            if last_use.get(uid, -1) < end_pos:
+                new_pending[uid] = (nbytes, 0, view)  # graph output
+                kept.add(uid)
+                continue
+            if pool_bytes + nbytes <= keep_budget:
+                new_pool[uid] = nbytes
+                pool_bytes += nbytes
+                kept.add(uid)
+            else:
+                new_pending[uid] = (nbytes, 0, view)
+                kept.add(uid)
+
+        # Effective DRAM integers: the same discounts, in the same
+        # order, with the same clamps as execution_seconds.
+        share = self.config.constant_share
+        dram_read = view.dram_read_bytes
+        for uid, nbytes in view.external_items:
+            if uid in resident_inputs:
+                dram_read -= nbytes
+        for uid, nbytes in view.constant_items:
+            if uid in resident_constants:
+                dram_read -= nbytes
+            elif share > 1:
+                dram_read -= nbytes * (share - 1) // share
+        dram_read = max(dram_read, 0)
+        dram_write = view.dram_write_bytes
+        if kept:
+            for uid, nbytes in view.out_items:
+                if uid in kept:
+                    dram_write -= nbytes
+            dram_write = max(dram_write, 0)
+        dram_write += max(spill_bytes, 0)
+
+        new_consts = state.resident_constants
+        new_const_bytes = state.resident_constant_bytes
+        added: Optional[Set[int]] = None
+        for uid, nbytes in view.constant_items:
+            if uid not in new_consts and new_const_bytes + nbytes <= const_budget:
+                if added is None:
+                    added = set()
+                added.add(uid)
+                new_const_bytes += nbytes
+        if added:
+            new_consts = state.resident_constants | added
+
+        cand = _Candidate()
+        cand.view = view
+        cand.pool = new_pool
+        cand.pending = new_pending
+        cand.kept = kept
+        cand.spill_bytes = spill_bytes
+        cand.resident_inputs = resident_inputs
+        cand.resident_constants = resident_constants
+        cand.new_consts = new_consts
+        cand.new_const_bytes = new_const_bytes
+        cand.eff_dram_read = dram_read
+        cand.eff_dram_write = dram_write
+        cand.seconds = 0.0
+        return cand
 
     def _consumed_uids(self, plan: SpatialGroupPlan) -> Set[int]:
         uids = self._consumed_cache.get(plan)
@@ -882,46 +1374,63 @@ class Scheduler:
             self._consumed_cache[plan] = uids
         return uids
 
+    @staticmethod
+    def _nest_at(group: object, pos: int) -> LoopNest:
+        """Loop nest of operator ``pos`` in a plan or a window view.
+
+        Views carry nests by window position; plans key them by uid.
+        Skeleton-derived nests are the very objects a live plan would
+        hold (instantiation re-keys, never rebuilds), so
+        ``matched_prefix`` verdicts are identical across the two forms.
+        """
+        if isinstance(group, _WindowView):
+            return group.nests[pos]
+        return group.assignment.nest_of(group.ops[pos])
+
     def _streamable(
         self,
         uid: int,
-        prev_plan: Optional[SpatialGroupPlan],
-        plan: SpatialGroupPlan,
+        producer: Optional[object],
+        consumer: object,
     ) -> bool:
         """Can a deferred tensor stream from the previous group into this
         one (matched top loops across the boundary, Section V-A)?
 
-        Pure in its arguments, so verdicts are cached per (producer
-        plan, consumer plan, tensor) — the same plan pair is re-queried
-        from many DP states.
+        ``producer``/``consumer`` are plans or window views — DP chains
+        can mix them (a checkpoint replays through live plans, the
+        vectorized search extends through views).  Pure in its
+        arguments, so verdicts are cached per (producer, consumer,
+        tensor) — the same pair is re-queried from many DP states.
         """
-        if prev_plan is None or not self.config.temporal_streaming:
+        if producer is None or not self.config.temporal_streaming:
             return False
-        key = (prev_plan, plan, uid)
+        key = (producer, consumer, uid)
         hit = self._stream_cache.get(key)
         if hit is not None:
             return hit
-        verdict = self._streamable_uncached(uid, prev_plan, plan)
+        verdict = self._streamable_uncached(uid, producer, consumer)
         self._stream_cache[key] = verdict
         return verdict
 
     def _streamable_uncached(
         self,
         uid: int,
-        prev_plan: SpatialGroupPlan,
-        plan: SpatialGroupPlan,
+        producer: object,
+        consumer: object,
     ) -> bool:
-        producer_op = None
-        for op in prev_plan.ops:
+        prod_ops = producer.ops  # type: ignore[attr-defined]
+        prod_pos = None
+        for pos, op in enumerate(prod_ops):
             if any(t.uid == uid for t in op.outputs):
-                producer_op = op
+                prod_pos = pos
                 break
-        if producer_op is None:
+        if prod_pos is None:
             return False
-        prod_nest = prev_plan.assignment.nest_of(producer_op)
-        for op in plan.ops:
+        prod_nest = self._nest_at(producer, prod_pos)
+        cons_ops = consumer.ops  # type: ignore[attr-defined]
+        for pos, op in enumerate(cons_ops):
             if any(t.uid == uid for t in op.inputs):
-                cons_nest = plan.assignment.nest_of(op)
+                cons_nest = self._nest_at(consumer, pos)
                 if matched_prefix(prod_nest, cons_nest) > 0:
                     return True
         return False
@@ -939,6 +1448,8 @@ class Scheduler:
         consumed = self._consumed_uids(plan)
         window = max(self.config.stream_window, 1)
         # Evolve the resident pool: evict tensors dead after this window.
+        # NOTE: _resolve_candidate mirrors this method statement for
+        # statement (minus the float pricing) — keep them in lockstep.
         new_pool = {
             uid: nbytes
             for uid, nbytes in state.pool.items()
@@ -954,7 +1465,7 @@ class Scheduler:
         # and tensors that outlive the window are spilled too.
         streamed: Set[int] = set()
         spill_bytes = 0
-        new_pending: Dict[int, Tuple[int, int, Optional[SpatialGroupPlan]]] = {}
+        new_pending: Dict[int, Tuple[int, int, Optional[object]]] = {}
         for uid, (nbytes, age, producer_plan) in state.pending.items():
             live_later = last_use.get(uid, -1) >= end_pos
             consumed_now = uid in consumed
@@ -1034,7 +1545,9 @@ class Scheduler:
             new_consts = state.resident_constants | added
         new_state = _DpState(
             seconds=state.seconds + seconds,
-            steps=state.steps + [step],
+            parent=state,
+            entry=step,
+            window=(end_pos - len(plan.ops), len(plan.ops)),
             pool=new_pool,
             resident_constants=new_consts,
             resident_constant_bytes=new_const_bytes,

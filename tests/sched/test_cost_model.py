@@ -1,17 +1,21 @@
 """Tests for the analytical cost model facade."""
 
+import math
+
 import pytest
 
 from repro.baselines.accelerators import SHARP
 from repro.fhe.params import parameter_set
 from repro.hw.config import CROPHE_64
 from repro.ir.builders import GraphBuilder
+from repro.resilience.errors import ConfigError
 from repro.sched.cost_model import (
     TimeBreakdown,
     arithmetic_intensity,
     group_time_breakdown,
     machine_balance,
     schedule_bottleneck_profile,
+    schedule_roofline,
 )
 from repro.sched.dataflow import GroupMetrics
 from repro.sched.scheduler import Scheduler
@@ -57,14 +61,79 @@ class TestBreakdown:
         assert profile  # at least one bottleneck class
 
 
+class TestBreakdownMatchesPlans:
+    @pytest.mark.parametrize("workload", ["bootstrapping", "resnet20"])
+    def test_total_equals_step_seconds(self, workload):
+        """Across whole quick workloads, the standalone decomposition's
+        ``total`` reproduces every step's priced seconds *exactly* —
+        the facade and ``SpatialGroupPlan.execution_seconds`` share one
+        definition of each resource term (including the hoisted NoC
+        serialization factor), so any drift between them is a bug."""
+        from repro.fhe.params import CKKSParams
+        from repro.workloads import build_bootstrapping
+        from repro.workloads.resnet import build_resnet20
+
+        if workload == "bootstrapping":
+            params = CKKSParams(
+                log_n=12, max_level=7, boot_levels=5, dnum=2, alpha=4,
+                word_bits=36, name="tiny",
+            )
+            segments = build_bootstrapping(params).segments
+        else:
+            params = CKKSParams(
+                log_n=12, max_level=13, boot_levels=3, dnum=2, alpha=7,
+                word_bits=36, name="tiny-deep",
+            )
+            segments = build_resnet20(params).segments
+        checked = 0
+        for seg in segments[:3]:
+            sched = Scheduler(seg.graph, CROPHE_64).schedule()
+            for step in sched.steps:
+                bd = group_time_breakdown(step.metrics, CROPHE_64)
+                assert bd.total == step.seconds
+                checked += 1
+        assert checked > 0
+
+
 class TestRoofline:
-    def test_intensity_infinite_without_dram(self):
+    def test_intensity_finite_without_dram(self):
+        """Zero-DRAM groups report 0.0, not inf: they sit off the
+        memory-bound axis entirely, and the finite sentinel keeps
+        roofline summaries (means, sorts) well-defined."""
         assert arithmetic_intensity(GroupMetrics(compute_cycles=10), 8) \
-            == float("inf")
+            == 0.0
 
     def test_intensity_positive(self):
         m = GroupMetrics(compute_cycles=100, dram_read_bytes=50)
         assert arithmetic_intensity(m, 8) == pytest.approx(2.0)
 
+    def test_schedule_roofline_inf_free_and_sorted(self):
+        sched = _schedule()
+        points = schedule_roofline(sched, CROPHE_64)
+        assert len(points) == len(sched.steps)
+        assert all(math.isfinite(x) and math.isfinite(y)
+                   for x, y in points)
+        assert points == sorted(points)
+        # The summary stays aggregable: a mean over intensities is a
+        # finite number even if some step never touches DRAM.
+        mean = sum(x for x, _ in points) / len(points)
+        assert math.isfinite(mean)
+
     def test_machine_balance_positive(self):
         assert machine_balance(CROPHE_64) > 0
+
+    def test_machine_balance_rejects_no_lanes(self):
+        hw = object.__new__(type(CROPHE_64))
+        hw.__dict__.update(CROPHE_64.__dict__)
+        hw.__dict__["num_pes"] = 0
+        with pytest.raises(ConfigError) as exc:
+            machine_balance(hw)
+        assert "total_lanes" in str(exc.value)
+
+    def test_machine_balance_rejects_no_dram_bandwidth(self):
+        hw = object.__new__(type(CROPHE_64))
+        hw.__dict__.update(CROPHE_64.__dict__)
+        hw.__dict__["dram_bandwidth_tbs"] = 0.0
+        with pytest.raises(ConfigError) as exc:
+            machine_balance(hw)
+        assert "dram_bandwidth_tbs" in str(exc.value)

@@ -1,0 +1,186 @@
+"""Vectorized frontier pricing and cross-workload plan-memo sharing.
+
+The DP scheduler prices each frontier's candidate windows through one
+numpy block call by default (``REPRO_VECTOR_PRICING=1``); setting the
+variable to ``0`` routes every window through the legacy scalar path.
+The hard requirement pinned here: the two paths — and every combination
+with the plan memo and the pricing thread count — produce
+**byte-identical** serialized schedules, because the packed-table
+kernel uses the very same float expressions and association as the
+scalar model and the winning cover is materialized through the scalar
+``execution_seconds`` either way.
+
+The second half pins the memo generalization: structurally congruent
+windows hit the same stored plan skeletons across *workloads*
+(ResNet-20 warming ResNet-110) and across *hardware variants* that
+differ only in fields plan construction never reads (clock, bandwidths,
+SRAM capacity) — with schedules identical to a cold search.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fhe.params import CKKSParams, parameter_set
+from repro.hw.config import CROPHE_36, CROPHE_64
+from repro.sched.plan_memo import MEMO
+from repro.sched.scheduler import Scheduler, SchedulerConfig
+from repro.sched.serialize import schedule_to_doc
+from repro.workloads import build_bootstrapping
+from repro.workloads.resnet import build_resnet20, build_resnet110
+
+ARK = parameter_set("ARK")
+
+TINY_DEEP = CKKSParams(
+    log_n=12, max_level=13, boot_levels=3, dnum=2, alpha=7, word_bits=36,
+    name="tiny-deep",
+)
+TINY_BOOT = CKKSParams(
+    log_n=12, max_level=7, boot_levels=5, dnum=2, alpha=4, word_bits=36,
+    name="tiny",
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch):
+    """Default env (vector on, memo on, no disk tier), empty memo."""
+    from repro.dse.cache import CACHE
+
+    monkeypatch.delenv("REPRO_VECTOR_PRICING", raising=False)
+    monkeypatch.delenv("REPRO_PLAN_MEMO", raising=False)
+    monkeypatch.delenv("REPRO_DSE_CACHE", raising=False)
+    MEMO.clear()
+    CACHE.clear_memory()
+    yield
+    MEMO.clear()
+    CACHE.clear_memory()
+
+
+def _doc(schedule):
+    return json.dumps(schedule_to_doc(schedule), sort_keys=True)
+
+
+def _distinct_segment_graphs(workload):
+    seen, graphs = set(), []
+    for seg in workload.segments:
+        sig = seg.graph.subgraph_signature(
+            tuple(seg.graph.operators_topological())
+        )
+        if sig not in seen:
+            seen.add(sig)
+            graphs.append(seg.graph)
+    return graphs
+
+
+def _schedule(graph, hw, monkeypatch, vector=True, memo=True, jobs=1,
+              fresh_memo=True, **knobs):
+    monkeypatch.setenv("REPRO_VECTOR_PRICING", "1" if vector else "0")
+    monkeypatch.setenv("REPRO_PLAN_MEMO", "1" if memo else "0")
+    if fresh_memo:
+        MEMO.clear()
+    sched = Scheduler(graph, hw, SchedulerConfig(sched_jobs=jobs, **knobs))
+    return sched, sched.schedule()
+
+
+class TestVectorScalarIdentity:
+    @pytest.mark.parametrize("workload", ["resnet20", "bootstrapping"])
+    def test_vector_matches_scalar_reference(self, workload, monkeypatch):
+        """Scalar memo-off serial reference vs vectorized memo-on, both
+        serial and 4-thread: byte-identical serialized schedules."""
+        if workload == "resnet20":
+            graphs = _distinct_segment_graphs(build_resnet20(TINY_DEEP))
+        else:
+            graphs = _distinct_segment_graphs(build_bootstrapping(TINY_BOOT))
+        assert graphs
+        for graph in graphs[:3]:
+            scal, base = _schedule(
+                graph, CROPHE_36, monkeypatch, vector=False, memo=False,
+            )
+            vec, fast = _schedule(graph, CROPHE_36, monkeypatch)
+            vec_par, par = _schedule(graph, CROPHE_36, monkeypatch, jobs=4)
+            assert fast.total_seconds == base.total_seconds
+            assert par.total_seconds == base.total_seconds
+            assert _doc(fast) == _doc(base)
+            assert _doc(par) == _doc(base)
+            # The intended paths actually ran.
+            assert "vector_priced" not in scal.stats
+            assert vec.stats.get("vector_priced", 0) > 0
+            assert vec_par.stats.get("vector_priced", 0) > 0
+
+    def test_vector_memo_off_matches_scalar_memo_off(self, monkeypatch):
+        """With the memo disabled the vector path prices views wrapped
+        around freshly constructed plans — still byte-identical."""
+        graph = _distinct_segment_graphs(build_bootstrapping(TINY_BOOT))[0]
+        _, base = _schedule(graph, CROPHE_64, monkeypatch,
+                            vector=False, memo=False)
+        vec, out = _schedule(graph, CROPHE_64, monkeypatch,
+                             vector=True, memo=False)
+        assert _doc(out) == _doc(base)
+        assert vec.stats.get("vector_priced", 0) > 0
+
+    @pytest.mark.parametrize("max_group_size,stream_window",
+                             [(1, 1), (3, 2), (7, 6)])
+    def test_identity_across_knobs(self, max_group_size, stream_window,
+                                   monkeypatch):
+        graph = _distinct_segment_graphs(build_resnet20(TINY_DEEP))[0]
+        knobs = dict(max_group_size=max_group_size,
+                     stream_window=stream_window)
+        _, base = _schedule(graph, CROPHE_36, monkeypatch,
+                            vector=False, memo=False, **knobs)
+        _, out = _schedule(graph, CROPHE_36, monkeypatch, jobs=4, **knobs)
+        assert _doc(out) == _doc(base)
+
+
+class TestCrossWorkloadMemo:
+    def test_resnet20_warms_resnet110(self, monkeypatch):
+        """ResNet-110 segments are structural twins of ResNet-20's:
+        after scheduling ResNet-20, a ResNet-110 segment search runs
+        memo-hot and yields the byte-identical schedule a cold search
+        produces."""
+        graphs110 = _distinct_segment_graphs(build_resnet110(TINY_DEEP))
+        target = graphs110[0]
+        _, cold = _schedule(target, CROPHE_36, monkeypatch)
+        # Warm the memo with ResNet-20 only, then search the
+        # ResNet-110 segment without clearing.
+        MEMO.clear()
+        for graph in _distinct_segment_graphs(build_resnet20(TINY_DEEP)):
+            _schedule(graph, CROPHE_36, monkeypatch, fresh_memo=False)
+        warm, hot = _schedule(target, CROPHE_36, monkeypatch,
+                              fresh_memo=False)
+        assert warm.stats["plan_memo_hits"] >= 1
+        assert warm.stats["plan_memo_misses"] == 0
+        assert _doc(hot) == _doc(cold)
+
+    def test_hw_variants_share_skeletons(self, monkeypatch):
+        """Configs differing only in timing fields (clock, bandwidths,
+        SRAM capacity label) share plan skeletons: construction reads
+        none of them, and timing always evaluates against the live
+        config — so the variant search runs miss-free yet prices with
+        its own clock."""
+        graph = _distinct_segment_graphs(build_bootstrapping(TINY_BOOT))[0]
+        first, base = _schedule(graph, CROPHE_64, monkeypatch)
+        assert first.stats["plan_memo_misses"] >= 1
+        variant = dataclasses.replace(
+            CROPHE_64, name="variant-2x",
+            frequency_ghz=CROPHE_64.frequency_ghz * 2,
+        )
+        second, out = _schedule(graph, variant, monkeypatch,
+                                fresh_memo=False)
+        assert second.stats["plan_memo_misses"] == 0
+        assert second.stats["plan_memo_hits"] >= 1
+        # Same windows (structure is config-independent here), faster
+        # or equal steps under the doubled clock.
+        assert [len(s.plan.ops) for s in out.steps] \
+            == [len(s.plan.ops) for s in base.steps]
+        assert out.total_seconds <= base.total_seconds
+
+    def test_word_bits_still_split_the_memo(self, monkeypatch):
+        """Fields plan construction *does* read (word size) must keep
+        separate memo entries — the projection only widens over timing
+        fields."""
+        graph = _distinct_segment_graphs(build_bootstrapping(TINY_BOOT))[0]
+        _schedule(graph, CROPHE_64, monkeypatch)
+        second, _ = _schedule(graph, CROPHE_36, monkeypatch,
+                              fresh_memo=False)
+        assert second.stats["plan_memo_misses"] >= 1
